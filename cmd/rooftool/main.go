@@ -1,0 +1,88 @@
+// Command rooftool autotunes the DGEMM and TRIAD benchmarks for a target
+// system and emits its empirical Roofline model — the end-to-end tool the
+// paper describes.
+//
+// Examples:
+//
+//	rooftool -system "Gold 6148"              # simulate a paper system
+//	rooftool -native                          # tune the host with real kernels
+//	rooftool -system 2650v4 -format svg -out roofline.svg
+//	rooftool -list                            # list known systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rooftune"
+	"rooftune/internal/hw"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "Gold 6148", "simulated system name (see -list)")
+		native  = flag.Bool("native", false, "tune the host with real Go kernels instead of simulating")
+		seed    = flag.Uint64("seed", 1021, "noise seed for simulated engines")
+		format  = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
+		out     = flag.String("out", "", "output file (default stdout)")
+		threads = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list known systems and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("known systems:", strings.Join(hw.Known(), ", "))
+		return
+	}
+
+	opt := &rooftune.Options{Seed: *seed, Threads: *threads}
+	var (
+		res *rooftune.Result
+		err error
+	)
+	if *native {
+		res, err = rooftune.Native(opt)
+	} else {
+		res, err = rooftune.Simulated(*system, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rooftool:", err)
+		os.Exit(1)
+	}
+
+	var rendered string
+	switch *format {
+	case "text":
+		rendered = res.Summary() + "\n" + res.Roofline.RenderASCII(76, 20)
+	case "ascii":
+		rendered = res.Roofline.RenderASCII(76, 20)
+	case "svg":
+		rendered = res.Roofline.RenderSVG(800, 560)
+	case "gnuplot":
+		rendered = res.Roofline.RenderGnuplot()
+	case "summary":
+		rendered = res.Roofline.Summary()
+	case "json":
+		b, jerr := res.Roofline.MarshalJSON()
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "rooftool:", jerr)
+			os.Exit(1)
+		}
+		rendered = string(b) + "\n"
+	default:
+		fmt.Fprintf(os.Stderr, "rooftool: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *out == "" {
+		fmt.Print(rendered)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(rendered), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rooftool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(rendered))
+}

@@ -1,0 +1,48 @@
+// Native roofline: tune the real pure-Go DGEMM and TRIAD kernels on this
+// machine and print its measured roofline. No hardware model involved —
+// this is the tool doing on your laptop what the paper did on Xeon nodes.
+//
+// Expect a run time of a couple of minutes with the default budget; pass
+// a smaller space or fewer invocations for a faster sketch.
+//
+//	go run ./examples/native-roofline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rooftune"
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/units"
+)
+
+func main() {
+	// A compact budget: 2 invocations, CI-converged iterations, and both
+	// early-termination bounds, so the sweep stays interactive.
+	budget := bench.DefaultBudget().WithFlags(true, true, true)
+	budget.Invocations = 2
+	budget.MaxIterations = 20
+	budget.MaxTime = time.Second
+
+	res, err := rooftune.Native(&rooftune.Options{
+		Budget: &budget,
+		// Modest sizes keep a laptop run under a minute or two while
+		// still exercising the cache-blocked kernel.
+		Space: []core.Dims{
+			{N: 256, M: 256, K: 128}, {N: 512, M: 512, K: 128},
+			{N: 512, M: 512, K: 256}, {N: 768, M: 768, K: 128},
+			{N: 1024, M: 512, K: 128}, {N: 512, M: 1024, K: 128},
+		},
+		TriadLo: 32 * units.KiB,
+		TriadHi: 128 * units.MiB,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Summary())
+	fmt.Println(res.Roofline.RenderASCII(76, 18))
+	fmt.Println("(native engine: wall-clock measurements of real Go kernels)")
+}

@@ -1,0 +1,31 @@
+// Quickstart: build the empirical Roofline model of a paper system in a
+// few lines. The simulated engine makes this deterministic and instant;
+// swap rooftune.Simulated for rooftune.Native to profile your own machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rooftune"
+)
+
+func main() {
+	// Autotune DGEMM (compute roof) and TRIAD (memory roofs) for the
+	// Intel Xeon Gold 6148 node of the paper, with the paper's best
+	// technique (confidence intervals + early termination) as the default.
+	res, err := rooftune.Simulated("Gold 6148", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The summary reports tuned peaks against the theoretical ones
+	// (Eqs. 9-11 of the paper).
+	fmt.Print(res.Summary())
+
+	// And the roofline graph itself — Fig. 1 of the paper, for this
+	// system, from measurements alone.
+	fmt.Println(res.Roofline.RenderASCII(76, 20))
+}

@@ -1,0 +1,57 @@
+// Search strategies: exhaustive forward vs. reversed vs. random traversal
+// of the DGEMM space (§IV-C and the "R" rows of Tables VIII-XI). With
+// early termination active, traversal order changes *cost*, not the
+// answer: reversal meets the expensive configurations before a strong
+// incumbent exists, so pruning bites later.
+//
+//	go run ./examples/search-strategies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/experiments"
+	"rooftune/internal/hw"
+)
+
+func main() {
+	sys := hw.IdunGold6148
+	budget := bench.DefaultBudget().WithFlags(true, true, true)
+	space := core.UnionDGEMMSpace()
+
+	fmt.Printf("search space: %d configurations (union space, DESIGN.md §4)\n\n", len(space))
+	for _, order := range []core.Order{core.OrderForward, core.OrderReverse, core.OrderRandom} {
+		eng := bench.NewSimEngine(sys, experiments.DefaultSeed)
+		tuner := core.NewTuner(eng.Clock, budget, order)
+		tuner.Seed = 7 // shuffle seed for the random order
+		res, err := tuner.Run(experiments.DGEMMCases(eng, space, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s best %8.2f GFLOP/s (%s)  search %8.2fs  outer-pruned %3d/%d  samples %d\n",
+			order, res.BestValue()/1e9, res.Best.Describe,
+			res.Elapsed.Seconds(), res.PrunedCount, len(space), res.TotalSamples)
+	}
+
+	// The §IV-C counterpoint: a hill climb with restarts over the same
+	// space, evaluating only a fraction of it.
+	eng := bench.NewSimEngine(sys, experiments.DefaultSeed)
+	ls := core.NewLocalSearch(eng.Clock, budget, core.UnionSpaceNeighborhood(), 6, 11)
+	res, err := ls.Run(experiments.DGEMMCases(eng, space, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s best %8.2f GFLOP/s (%s)  search %8.2fs  evaluated %3d/%d\n",
+		"hillclimb", res.BestValue()/1e9, res.Best.Describe,
+		res.Elapsed.Seconds(), res.Evaluations(), len(space))
+
+	fmt.Println("\nSame optimum each way; forward order is cheapest among exhaustive")
+	fmt.Println("variants because Fig. 6's cost curve grows with size, so cheap")
+	fmt.Println("configurations establish the incumbent before the expensive ones must")
+	fmt.Println("be measured. The hill climb needs far fewer evaluations — but offers")
+	fmt.Println("no coverage guarantee, which is why the paper prefers exhaustive")
+	fmt.Println("search at this cardinality (§IV-C).")
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"time"
+)
+
+// Metric identifies what a benchmark maximises.
+type Metric int
+
+// Metrics.
+const (
+	MetricFlops     Metric = iota // FLOP/s (DGEMM)
+	MetricBandwidth               // bytes/s (TRIAD)
+)
+
+// Unit returns the reporting unit of the metric.
+func (m Metric) Unit() string {
+	if m == MetricBandwidth {
+		return "GB/s"
+	}
+	return "GFLOP/s"
+}
+
+// Scale converts a metric value in base units to its reporting unit.
+func (m Metric) Scale(v float64) float64 { return v / 1e9 }
+
+// Case is one benchmark configuration: a point in the autotuner's search
+// space bound to an engine that can execute (or simulate) it. The
+// evaluator repeatedly creates invocations of it, mirroring the paper's
+// outer loop which re-executes the benchmark program.
+type Case interface {
+	// Key uniquely identifies the configuration within a search space.
+	Key() string
+	// Describe returns a human-readable parameter description, e.g.
+	// "n=1000 m=4096 k=128".
+	Describe() string
+	// Metric says what the per-iteration measurements mean.
+	Metric() Metric
+	// NewInvocation starts invocation number inv (0-based). The engine
+	// accounts any startup/initialisation cost to its clock before
+	// returning.
+	NewInvocation(inv int) (Instance, error)
+}
+
+// Instance is one live invocation of a benchmark case. Implementations
+// advance their engine's clock as a side effect of Warmup and Step, so
+// the evaluator's wall-clock accounting works identically for real and
+// simulated engines.
+type Instance interface {
+	// Warmup performs the unmeasured pre-heat execution (§III-A).
+	Warmup()
+	// Step executes the kernel once and returns the measured elapsed
+	// time, quantised to the timer's resolution.
+	Step() time.Duration
+	// Work returns the work per execution in the case's metric base
+	// units (FLOPs for DGEMM, bytes for TRIAD).
+	Work() float64
+	// Close releases invocation resources.
+	Close()
+}

@@ -1,0 +1,194 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rooftune/internal/xrand"
+)
+
+func randomMatrix(rng *xrand.Rand, rows, cols, extraStride int) *Matrix {
+	m := NewMatrixStrided(rows, cols, cols+extraStride)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Normal())
+		}
+	}
+	return m
+}
+
+func TestDGEMMKnownProduct(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	c := NewMatrix(2, 2)
+	DGEMM(1, a, b, 0, c, 1)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestDGEMMMatchesNaive(t *testing.T) {
+	// The blocked, packed, parallel kernel must agree with the
+	// triple-loop oracle for arbitrary shapes, strides and scalars.
+	rng := xrand.New(1)
+	f := func(nRaw, mRaw, kRaw uint8, alphaRaw, betaRaw int8, strideA, strideB uint8) bool {
+		n := int(nRaw%70) + 1
+		m := int(mRaw%70) + 1
+		k := int(kRaw%70) + 1
+		alpha := float64(alphaRaw) / 16
+		beta := float64(betaRaw) / 16
+		a := randomMatrix(rng, n, k, int(strideA%5))
+		b := randomMatrix(rng, k, m, int(strideB%5))
+		c0 := randomMatrix(rng, n, m, 0)
+		c1 := c0.Clone()
+		DGEMMNaive(alpha, a, b, beta, c0)
+		DGEMM(alpha, a, b, beta, c1, 3)
+		return MaxAbsDiff(c0, c1) < 1e-10*float64(k+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDGEMMLargerThanBlocks(t *testing.T) {
+	// Dimensions exceeding the kernel's internal block sizes exercise
+	// the full panel loop structure.
+	rng := xrand.New(2)
+	n, m, k := 200, 600, 300
+	a := randomMatrix(rng, n, k, 0)
+	b := randomMatrix(rng, k, m, 0)
+	c0 := NewMatrix(n, m)
+	c1 := NewMatrix(n, m)
+	DGEMMNaive(1, a, b, 0, c0)
+	DGEMM(1, a, b, 0, c1, 4)
+	if d := MaxAbsDiff(c0, c1); d > 1e-9 {
+		t.Fatalf("blocked kernel diverges from oracle: max diff %v", d)
+	}
+}
+
+func TestDGEMMBetaSemantics(t *testing.T) {
+	rng := xrand.New(3)
+	a := randomMatrix(rng, 8, 8, 0)
+	b := randomMatrix(rng, 8, 8, 0)
+
+	// beta=0 must overwrite even NaN-poisoned C (BLAS convention).
+	c := NewMatrix(8, 8)
+	for i := range c.Data {
+		c.Data[i] = math.NaN()
+	}
+	DGEMM(1, a, b, 0, c, 2)
+	for i, v := range c.Data {
+		if math.IsNaN(v) {
+			t.Fatalf("beta=0 must clear NaN at %d", i)
+		}
+	}
+
+	// beta=1 accumulates.
+	c1 := NewMatrix(8, 8)
+	c1.Fill(2)
+	c2 := c1.Clone()
+	DGEMM(1, a, b, 1, c1, 2)
+	DGEMMNaive(1, a, b, 1, c2)
+	if d := MaxAbsDiff(c1, c2); d > 1e-12 {
+		t.Fatalf("beta=1 mismatch: %v", d)
+	}
+}
+
+func TestDGEMMAlphaZeroScalesOnly(t *testing.T) {
+	a := NewMatrix(4, 4)
+	a.Fill(math.Inf(1)) // must never be touched when alpha == 0
+	b := NewMatrix(4, 4)
+	b.Fill(1)
+	c := NewMatrix(4, 4)
+	c.Fill(3)
+	DGEMM(0, a, b, 0.5, c, 1)
+	for i, v := range c.Data {
+		if v != 1.5 {
+			t.Fatalf("c[%d] = %v, want 1.5", i, v)
+		}
+	}
+}
+
+func TestDGEMMShapePanic(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 2) // k mismatch
+	c := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	DGEMM(1, a, b, 0, c, 1)
+}
+
+func TestDGEMMThreadCountIrrelevantToResult(t *testing.T) {
+	rng := xrand.New(4)
+	a := randomMatrix(rng, 33, 65, 0)
+	b := randomMatrix(rng, 65, 47, 0)
+	ref := NewMatrix(33, 47)
+	DGEMM(1, a, b, 0, ref, 1)
+	for _, threads := range []int{2, 5, 16} {
+		c := NewMatrix(33, 47)
+		DGEMM(1, a, b, 0, c, threads)
+		if d := MaxAbsDiff(ref, c); d != 0 {
+			t.Fatalf("threads=%d changed the result by %v", threads, d)
+		}
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At")
+	}
+	m.FillPattern(1)
+	c := m.Clone()
+	if MaxAbsDiff(m, c) != 0 {
+		t.Fatal("Clone differs")
+	}
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone must be deep")
+	}
+	m.Fill(0.5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0.5 {
+				t.Fatal("Fill")
+			}
+		}
+	}
+}
+
+func TestMatrixStridePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stride < cols must panic")
+		}
+	}()
+	NewMatrixStrided(2, 4, 3)
+}
+
+func TestMaxAbsDiffShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	MaxAbsDiff(NewMatrix(2, 2), NewMatrix(2, 3))
+}
+
+func TestZeroDimensionNoPanic(t *testing.T) {
+	a := NewMatrix(0, 5)
+	b := NewMatrix(5, 0)
+	c := NewMatrix(0, 0)
+	DGEMM(1, a, b, 0, c, 2) // must not panic
+}

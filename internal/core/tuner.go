@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/vclock"
+	"rooftune/internal/xrand"
+)
+
+// Order is the traversal order of the search space.
+type Order int
+
+// Traversal orders. The paper studies Forward (cheap configurations
+// first) and Reverse ("R" in Tables VIII-XI); Random is the standard
+// baseline for larger spaces (§IV-C).
+const (
+	OrderForward Order = iota
+	OrderReverse
+	OrderRandom
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case OrderReverse:
+		return "reverse"
+	case OrderRandom:
+		return "random"
+	default:
+		return "forward"
+	}
+}
+
+// Result is the outcome of one search over a space.
+type Result struct {
+	// Best is the winning configuration's outcome (highest mean metric
+	// among non-pruned evaluations).
+	Best *bench.Outcome
+	// All holds every configuration's outcome in evaluation order.
+	All []*bench.Outcome
+	// Elapsed is the total search time on the engine's clock — virtual
+	// seconds for simulated engines, the paper's "Time" column.
+	Elapsed time.Duration
+	// PrunedCount is how many configurations stop condition 4 abandoned.
+	PrunedCount int
+	// TotalSamples counts all measured iterations in the search.
+	TotalSamples int
+}
+
+// BestValue returns the winning mean in metric base units, or 0 if the
+// search found nothing.
+func (r *Result) BestValue() float64 {
+	if r.Best == nil {
+		return 0
+	}
+	return r.Best.Mean
+}
+
+// Tuner performs exhaustive search over a benchmark case list with the
+// adaptive evaluation process. Simple search techniques are the right
+// tool at this cardinality (§IV-C): the spaces are small and sample cost
+// dominates, so the win comes from cutting samples per configuration,
+// not from clever traversal.
+type Tuner struct {
+	Evaluator *bench.Evaluator
+	Order     Order
+	// Seed drives the random order shuffle (only used for OrderRandom).
+	Seed uint64
+	// OnOutcome, when non-nil, observes every evaluated configuration —
+	// used by experiment drivers to stream per-configuration series
+	// (Fig. 6) without retaining engine internals.
+	OnOutcome func(*bench.Outcome)
+}
+
+// NewTuner builds a tuner with the given evaluation budget on the clock.
+func NewTuner(clock vclock.Clock, budget bench.Budget, order Order) *Tuner {
+	return &Tuner{
+		Evaluator: bench.NewEvaluator(clock, budget),
+		Order:     order,
+		Seed:      1,
+	}
+}
+
+// Run evaluates every case in the tuner's order, carrying the incumbent
+// best value into each evaluation so stop condition 4 can prune against
+// it. It returns an error only on engine failure; statistical pruning is
+// not an error.
+func (t *Tuner) Run(cases []bench.Case) (*Result, error) {
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("core: empty search space")
+	}
+	ordered := t.ordered(cases)
+	res := &Result{}
+	watch := vclock.NewStopwatch(t.Evaluator.Clock)
+	best := bench.NoBest
+	for _, c := range ordered {
+		out, err := t.Evaluator.Evaluate(c, best)
+		if err != nil {
+			return nil, err
+		}
+		res.All = append(res.All, out)
+		res.TotalSamples += out.TotalSamples
+		if out.Pruned {
+			res.PrunedCount++
+		}
+		if out.Better(best) {
+			best = out.Mean
+			res.Best = out
+		}
+		if t.OnOutcome != nil {
+			t.OnOutcome(out)
+		}
+	}
+	if res.Best == nil && len(res.All) > 0 {
+		// Everything was pruned (can only happen with a pre-seeded bound);
+		// fall back to the highest partial mean so callers get an answer.
+		for _, out := range res.All {
+			if res.Best == nil || out.Mean > res.Best.Mean {
+				res.Best = out
+			}
+		}
+	}
+	res.Elapsed = watch.Elapsed()
+	return res, nil
+}
+
+func (t *Tuner) ordered(cases []bench.Case) []bench.Case {
+	out := make([]bench.Case, len(cases))
+	copy(out, cases)
+	switch t.Order {
+	case OrderReverse:
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	case OrderRandom:
+		rng := xrand.New(t.Seed)
+		perm := rng.Perm(len(out))
+		shuffled := make([]bench.Case, len(out))
+		for i, p := range perm {
+			shuffled[i] = out[p]
+		}
+		out = shuffled
+	}
+	return out
+}
+
+// RelativeError returns |a-b| / |b|, the paper's error measure when
+// comparing an optimised search's result against the default's (the
+// abstract claims < 2%). Returns +Inf for b == 0 with a != b.
+func RelativeError(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"rooftune/internal/bench"
+)
+
+// Campaign is the complete reproduction run: every table's data for every
+// system, machine-readable. cmd/experiments and the EXPERIMENTS.md
+// generator both consume it; the JSON form feeds external plotting.
+type Campaign struct {
+	Seed      uint64
+	DGEMM     []*DGEMMRun
+	Triad     []*TriadRun
+	Opt       []*OptTable
+	Intel     *IntelComparison
+	StartedAt time.Time
+	WallTime  time.Duration
+}
+
+// RunCampaign executes the full campaign. With parallel=true the
+// per-system work runs concurrently — each system uses its own engine,
+// clock and noise streams, so results are bit-identical to the serial
+// run (asserted by TestCampaignParallelDeterminism).
+func (r *Runner) RunCampaign(parallel bool) (*Campaign, error) {
+	c := &Campaign{Seed: r.Seed, StartedAt: time.Now()}
+	n := len(r.Systems)
+	c.DGEMM = make([]*DGEMMRun, n)
+	c.Triad = make([]*TriadRun, n)
+	c.Opt = make([]*OptTable, n)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	runSystem := func(i int) {
+		defer wg.Done()
+		sys := r.Systems[i]
+		dg, err := r.ExhaustiveDefault(sys)
+		if err != nil {
+			record(fmt.Errorf("campaign %s dgemm: %w", sys.Name, err))
+			return
+		}
+		tr, err := r.RunTriad(sys, bench.DefaultBudget().WithFlags(true, true, false))
+		if err != nil {
+			record(fmt.Errorf("campaign %s triad: %w", sys.Name, err))
+			return
+		}
+		opt, err := r.OptimizationTable(sys.Name)
+		if err != nil {
+			record(fmt.Errorf("campaign %s opt: %w", sys.Name, err))
+			return
+		}
+		c.DGEMM[i], c.Triad[i], c.Opt[i] = dg, tr, opt
+	}
+
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		if parallel {
+			go runSystem(i)
+		} else {
+			runSystem(i)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// The Intel comparison depends on the Gold 6132 run.
+	for i, sys := range r.Systems {
+		if sys.Name == "Gold 6132" {
+			ic, err := r.RunIntelComparison(c.DGEMM[i])
+			if err != nil {
+				return nil, err
+			}
+			c.Intel = ic
+		}
+	}
+	c.WallTime = time.Since(c.StartedAt)
+	return c, nil
+}
+
+// MarshalJSON exports the campaign's headline numbers.
+func (c *Campaign) MarshalJSON() ([]byte, error) {
+	type dgemmJSON struct {
+		System  string  `json:"system"`
+		FS1     float64 `json:"fs1_gflops"`
+		FS2     float64 `json:"fs2_gflops"`
+		S1Dims  string  `json:"s1_dims"`
+		S2Dims  string  `json:"s2_dims"`
+		TimeSec float64 `json:"search_time_s"`
+	}
+	type triadJSON struct {
+		System string  `json:"system"`
+		DramS1 float64 `json:"dram_s1_gbps"`
+		DramS2 float64 `json:"dram_s2_gbps"`
+		L3S1   float64 `json:"l3_s1_gbps"`
+		L3S2   float64 `json:"l3_s2_gbps"`
+	}
+	type optJSON struct {
+		System    string  `json:"system"`
+		Technique string  `json:"technique"`
+		FS1       float64 `json:"fs1_gflops"`
+		FS2       float64 `json:"fs2_gflops"`
+		TimeSec   float64 `json:"time_s"`
+		Speedup   float64 `json:"speedup"`
+	}
+	out := struct {
+		Seed     uint64      `json:"seed"`
+		DGEMM    []dgemmJSON `json:"dgemm"`
+		Triad    []triadJSON `json:"triad"`
+		Opt      []optJSON   `json:"optimizations"`
+		WallSecs float64     `json:"wall_time_s"`
+	}{Seed: c.Seed, WallSecs: c.WallTime.Seconds()}
+	for _, run := range c.DGEMM {
+		d1, err := BestDims(run.S1)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := BestDims(run.S2)
+		if err != nil {
+			return nil, err
+		}
+		out.DGEMM = append(out.DGEMM, dgemmJSON{
+			System: run.System.Name,
+			FS1:    run.S1.BestValue() / 1e9, FS2: run.S2.BestValue() / 1e9,
+			S1Dims: d1.String(), S2Dims: d2.String(),
+			TimeSec: run.Total.Seconds(),
+		})
+	}
+	for _, run := range c.Triad {
+		out.Triad = append(out.Triad, triadJSON{
+			System: run.System.Name,
+			DramS1: run.Peak(1, RegionDRAM),
+			DramS2: run.Peak(run.System.Sockets, RegionDRAM),
+			L3S1:   run.Peak(1, RegionL3),
+			L3S2:   run.Peak(run.System.Sockets, RegionL3),
+		})
+	}
+	for _, tbl := range c.Opt {
+		for _, row := range append(append([]OptRow{}, tbl.Rows...), tbl.MinCountRows...) {
+			out.Opt = append(out.Opt, optJSON{
+				System: tbl.System, Technique: row.Technique,
+				FS1: row.FS1, FS2: row.FS2,
+				TimeSec: row.Time.Seconds(), Speedup: row.Speedup,
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

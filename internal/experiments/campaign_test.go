@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCampaignParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full campaigns")
+	}
+	r := New()
+	serial, err := r.RunCampaign(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := r.RunCampaign(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engines and noise streams are per-system and hash-derived, so the
+	// parallel campaign must be bit-identical to the serial one.
+	for i := range serial.DGEMM {
+		s, p := serial.DGEMM[i], parallel.DGEMM[i]
+		if s.S1.BestValue() != p.S1.BestValue() || s.S2.BestValue() != p.S2.BestValue() {
+			t.Errorf("%s: parallel DGEMM diverged", s.System.Name)
+		}
+		if s.Total != p.Total {
+			t.Errorf("%s: virtual time diverged: %v vs %v", s.System.Name, s.Total, p.Total)
+		}
+	}
+	for i := range serial.Opt {
+		s, p := serial.Opt[i], parallel.Opt[i]
+		for j := range s.Rows {
+			if s.Rows[j].FS1 != p.Rows[j].FS1 || s.Rows[j].Time != p.Rows[j].Time {
+				t.Errorf("%s %s: parallel opt row diverged", s.System, s.Rows[j].Technique)
+			}
+		}
+	}
+	if serial.Intel == nil || parallel.Intel == nil {
+		t.Fatal("Intel comparison missing")
+	}
+}
+
+func TestCampaignJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	r := New()
+	c, err := r.RunCampaign(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Seed  uint64 `json:"seed"`
+		DGEMM []struct {
+			System string  `json:"system"`
+			FS1    float64 `json:"fs1_gflops"`
+			S1Dims string  `json:"s1_dims"`
+		} `json:"dgemm"`
+		Triad []struct {
+			DramS1 float64 `json:"dram_s1_gbps"`
+		} `json:"triad"`
+		Opt []struct {
+			Technique string  `json:"technique"`
+			Speedup   float64 `json:"speedup"`
+		} `json:"optimizations"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Seed != DefaultSeed || len(decoded.DGEMM) != 4 || len(decoded.Triad) != 4 {
+		t.Fatalf("decoded header: %+v", decoded)
+	}
+	if decoded.DGEMM[0].System != "2650v4" || decoded.DGEMM[0].S1Dims != "1000,4096,128" {
+		t.Fatalf("dgemm[0]: %+v", decoded.DGEMM[0])
+	}
+	// 9 techniques x 4 systems + 4 min100 rows on the 2695v4.
+	if len(decoded.Opt) != 9*4+4 {
+		t.Fatalf("opt rows: %d", len(decoded.Opt))
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConstraintStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twelve searches")
+	}
+	r := New()
+	rows, err := r.ConstraintStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d systems", len(rows))
+	}
+	for _, row := range rows {
+		// §IV-A: non-square beats square on every system, significantly.
+		if row.Full <= row.Square*1.05 {
+			t.Errorf("%s: full %.2f should beat square %.2f by >5%%",
+				row.System, row.Full, row.Square)
+		}
+		// m=n sits between: more freedom than square, less than full.
+		if row.MNConstrained < row.Square*0.999 {
+			t.Errorf("%s: m=n (%.2f) must not lose to m=n=k (%.2f)",
+				row.System, row.MNConstrained, row.Square)
+		}
+		if row.MNConstrained > row.Full*1.001 {
+			t.Errorf("%s: m=n (%.2f) cannot beat unconstrained (%.2f)",
+				row.System, row.MNConstrained, row.Full)
+		}
+		if row.FullDims.N == row.FullDims.M && row.FullDims.M == row.FullDims.K {
+			t.Errorf("%s: unconstrained optimum is square (%v)?", row.System, row.FullDims)
+		}
+	}
+	out := RenderConstraintStudy(rows).Text()
+	if !strings.Contains(out, "square loss") {
+		t.Fatal("render")
+	}
+}
+
+func TestTable6Extended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TRIAD campaigns")
+	}
+	r := New()
+	runs, err := r.Table6Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		l1 := run.Peak(1, RegionL1)
+		l2 := run.Peak(1, RegionL2)
+		l3 := run.Peak(1, RegionL3)
+		dram := run.Peak(1, RegionDRAM)
+		if !(l2 > l3 && l3 > dram) {
+			t.Errorf("%s: hierarchy not ordered: L2 %.0f L3 %.0f DRAM %.0f",
+				run.System.Name, l2, l3, dram)
+		}
+		// L1 working sets are so small that one pass completes under the
+		// gettimeofday resolution: the measurement clips at W/1µs. This
+		// is the honest reason the paper stops at L3 ("lower levels are
+		// outside the scope of this technique", §IV-B).
+		if l1 <= dram {
+			t.Errorf("%s: L1 measurement %.0f must still beat DRAM", run.System.Name, l1)
+		}
+		wL1 := float64(run.System.L1PerCore) * float64(run.System.Cores(1))
+		quantFloor := wL1 / 1e-6 / 1e9 // largest L1-resident grid point over 1µs
+		if l1 > quantFloor*1.3 {
+			t.Errorf("%s: L1 %.0f GB/s exceeds the gettimeofday quantisation ceiling %.0f",
+				run.System.Name, l1, quantFloor*1.3)
+		}
+	}
+	out := Table6Extended(runs).Text()
+	for _, frag := range []string{"B_L1,S1", "B_L2,S1", "2650v4"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("extended table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSecondChanceStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full searches on the 2695v4")
+	}
+	r := New()
+	row, err := r.SecondChanceStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plain min_count=2 run is the anomaly: degraded result.
+	// The second-chance pass must recover performance close to Table IV
+	// (593.06 GFLOP/s) and find the exact Table V configuration.
+	if row.FS1Fixed < row.FS1 {
+		t.Fatalf("second chance made things worse: %.2f -> %.2f", row.FS1, row.FS1Fixed)
+	}
+	want := PaperTable5["2695v4"].S1
+	if row.DimsFixed != want {
+		t.Errorf("second chance found %v, want %v", row.DimsFixed, want)
+	}
+	if row.FS1Fixed < PaperTable4["2695v4"].FS1*0.97 {
+		t.Errorf("second chance FS1 %.2f too far below Table IV %.2f",
+			row.FS1Fixed, PaperTable4["2695v4"].FS1)
+	}
+	out := row.Render().Text()
+	if !strings.Contains(out, "second chance") {
+		t.Fatal("render")
+	}
+}
+
+func TestGenerateMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	r := New()
+	md, err := r.GenerateMarkdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"# EXPERIMENTS", "Table I", "Table III", "Tables IV & V",
+		"Table VI", "Table VIII", "Fig. 1", "Fig. 6",
+		"min_count", "Intel", "2695v4",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("EXPERIMENTS.md missing %q", frag)
+		}
+	}
+	if len(md) < 10000 {
+		t.Fatalf("document suspiciously short: %d bytes", len(md))
+	}
+}
+
+func TestDistributionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default invocation sets")
+	}
+	r := New()
+	rows, err := r.DistributionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d systems", len(rows))
+	}
+	nonNormal := 0
+	for _, row := range rows {
+		if row.Samples < 500 {
+			t.Errorf("%s: only %d samples", row.System, row.Samples)
+		}
+		// Runtime distributions are right-skewed (spikes lengthen, never
+		// shorten, an iteration).
+		if row.Skewness < 0 {
+			t.Errorf("%s: skewness %.2f, want positive", row.System, row.Skewness)
+		}
+		if row.NonNormal {
+			nonNormal++
+		}
+		if row.ESS <= 0 || row.ESS > float64(row.Samples) {
+			t.Errorf("%s: ESS %.0f out of range", row.System, row.ESS)
+		}
+	}
+	// "the distribution is usually non-normal" (§III-C3).
+	if nonNormal < 3 {
+		t.Errorf("only %d of 4 systems non-normal; paper says 'usually'", nonNormal)
+	}
+	out := RenderDistributionStudy(rows).Text()
+	if !strings.Contains(out, "normal?") {
+		t.Fatal("render")
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiguresStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign data needed")
+	}
+	r := New()
+	dgemm, err := r.Table4Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	triad, err := r.Table6Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f3 := Fig3(dgemm)
+	if len(f3.Series) != 4 {
+		t.Fatalf("Fig3 series: %d", len(f3.Series))
+	}
+	for _, s := range f3.Series {
+		if len(s.Y) != 4 || len(s.Labels) != 4 {
+			t.Fatalf("Fig3 series %q shape: %d/%d", s.Name, len(s.Y), len(s.Labels))
+		}
+	}
+	// Measured must sit below theoretical for every system (compute).
+	for i := range f3.Series[0].Y {
+		if f3.Series[0].Y[i] >= f3.Series[1].Y[i] {
+			t.Errorf("Fig3: measured S1 %.1f >= theoretical %.1f at %s",
+				f3.Series[0].Y[i], f3.Series[1].Y[i], f3.Series[0].Labels[i])
+		}
+	}
+
+	f4 := Fig4(triad)
+	if len(f4.Series) != 6 {
+		t.Fatalf("Fig4 series: %d", len(f4.Series))
+	}
+	// Measured DRAM must sit above theoretical (the paper's Table VI).
+	for i := range f4.Series[0].Y {
+		if f4.Series[0].Y[i] <= f4.Series[1].Y[i] {
+			t.Errorf("Fig4: DRAM S1 %.1f <= theoretical %.1f at %s",
+				f4.Series[0].Y[i], f4.Series[1].Y[i], f4.Series[0].Labels[i])
+		}
+	}
+
+	m, err := Fig1(dgemm[3], triad[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Memory) != 4 || len(m.Compute) != 2 {
+		t.Fatalf("Fig1 must have 4 memory + 2 compute ceilings: %d/%d",
+			len(m.Memory), len(m.Compute))
+	}
+	ascii := m.RenderASCII(72, 18)
+	if !strings.Contains(ascii, "DRAM") || !strings.Contains(ascii, "TRIAD") {
+		t.Fatal("Fig1 render incomplete")
+	}
+	if _, err := Fig1(nil, nil); err == nil {
+		t.Fatal("Fig1 with nil runs must error")
+	}
+}
+
+func TestFig5Structure(t *testing.T) {
+	tables := []*OptTable{
+		{System: "A", Rows: []OptRow{
+			{Technique: "Default", Speedup: 1},
+			{Technique: "Confidence", Speedup: 3.3},
+			{Technique: "C+I+Outer", Speedup: 64},
+		}},
+		{System: "B", Rows: []OptRow{
+			{Technique: "Confidence", Speedup: 5},
+		}},
+	}
+	f := Fig5(tables)
+	if len(f.Series) != 2 {
+		t.Fatalf("series: %d", len(f.Series))
+	}
+	// 8 techniques on the label axis; missing ones are zero.
+	if len(f.Series[0].Labels) != 8 {
+		t.Fatalf("labels: %d", len(f.Series[0].Labels))
+	}
+	foundC, foundCIO := false, false
+	for i, l := range f.Series[0].Labels {
+		switch l {
+		case "Confidence":
+			foundC = f.Series[0].Y[i] == 3.3 && f.Series[1].Y[i] == 5
+		case "C+I+Outer":
+			foundCIO = f.Series[0].Y[i] == 64 && f.Series[1].Y[i] == 0
+		}
+	}
+	if !foundC || !foundCIO {
+		t.Fatalf("speedup placement wrong: %+v", f.Series)
+	}
+}
+
+func TestPaperUtilisationTranscription(t *testing.T) {
+	// Cross-check our transcription of the paper: Table IV's GFLOP/s and
+	// utilisation percentages must agree with Table III's peaks.
+	r := New()
+	for _, sys := range r.Systems {
+		p4 := PaperTable4[sys.Name]
+		util := PaperTable4Util[sys.Name]
+		ft1 := sys.TheoreticalFlops(1).GFLOPS()
+		ft2 := sys.TheoreticalFlops(sys.Sockets).GFLOPS()
+		if got := 100 * p4.FS1 / ft1; got < util.S1-0.02 || got > util.S1+0.02 {
+			t.Errorf("%s: FS1/Ft = %.2f%%, paper prints %.2f%%", sys.Name, got, util.S1)
+		}
+		if got := 100 * p4.FS2 / ft2; got < util.S2-0.02 || got > util.S2+0.02 {
+			t.Errorf("%s: FS2/Ft = %.2f%%, paper prints %.2f%%", sys.Name, got, util.S2)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, regenerating each artifact from the simulated
+// engines (or, where meaningful, the native engine). The drivers return
+// report.Table / report.Figure values plus the raw data, so tests can
+// assert reproduction tolerances and cmd/experiments can render any
+// format.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+)
+
+// DefaultSeed is the noise seed used for all published-artifact
+// reproductions. The calibration tests pin the headline behaviours under
+// this seed.
+const DefaultSeed uint64 = 1021
+
+// Runner holds the shared configuration of all experiment drivers.
+type Runner struct {
+	Seed    uint64
+	Space   []core.Dims
+	Systems []hw.System
+}
+
+// New returns a runner with the paper's defaults: the union DGEMM space
+// and the four Idun systems.
+func New() *Runner {
+	return &Runner{
+		Seed:    DefaultSeed,
+		Space:   core.UnionDGEMMSpace(),
+		Systems: hw.IdunSystems(),
+	}
+}
+
+// DGEMMCases binds the runner's dimension space to an engine for one
+// socket configuration.
+func DGEMMCases(eng *bench.SimEngine, space []core.Dims, sockets int) []bench.Case {
+	cases := make([]bench.Case, len(space))
+	for i, d := range space {
+		cases[i] = eng.DGEMMCase(d.N, d.M, d.K, sockets)
+	}
+	return cases
+}
+
+// DGEMMRun is the result of applying one technique to one system: the
+// single-socket and dual-socket sweeps and their combined cost.
+type DGEMMRun struct {
+	System    hw.System
+	Technique core.Technique
+	S1, S2    *core.Result
+	// Total is the combined virtual search time of both sweeps — the
+	// paper's "Time" column.
+	Total time.Duration
+}
+
+// BestDims parses the winning configuration of a sweep result back into
+// dimensions.
+func BestDims(res *core.Result) (core.Dims, error) {
+	var d core.Dims
+	if res == nil || res.Best == nil {
+		return d, fmt.Errorf("experiments: sweep has no best outcome")
+	}
+	var sockets int
+	if _, err := fmt.Sscanf(res.Best.Key, "dgemm/%d/%dx%dx%d", &sockets, &d.N, &d.M, &d.K); err != nil {
+		return d, fmt.Errorf("experiments: cannot parse best key %q: %v", res.Best.Key, err)
+	}
+	return d, nil
+}
+
+// RunDGEMMTechnique runs one technique's full DGEMM search (single-socket
+// sweep then dual-socket sweep on the same engine and clock, like the
+// paper's per-system benchmark campaign).
+func (r *Runner) RunDGEMMTechnique(sys hw.System, tech core.Technique) (*DGEMMRun, error) {
+	eng := bench.NewSimEngine(sys, r.Seed)
+	run := &DGEMMRun{System: sys, Technique: tech}
+
+	t1 := core.NewTuner(eng.Clock, tech.Budget, tech.Order)
+	s1, err := t1.Run(DGEMMCases(eng, r.Space, 1))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s S1 sweep: %w", sys.Name, err)
+	}
+	run.S1 = s1
+
+	t2 := core.NewTuner(eng.Clock, tech.Budget, tech.Order)
+	s2, err := t2.Run(DGEMMCases(eng, r.Space, sys.Sockets))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s S2 sweep: %w", sys.Name, err)
+	}
+	run.S2 = s2
+	run.Total = eng.Clock.Now()
+	return run, nil
+}
+
+// ExhaustiveDefault runs the Default technique (Table I budget, no
+// optimisations) — the run that defines Tables IV and V.
+func (r *Runner) ExhaustiveDefault(sys hw.System) (*DGEMMRun, error) {
+	return r.RunDGEMMTechnique(sys, core.Technique{
+		Name:   "Default",
+		Budget: bench.DefaultBudget(),
+		Order:  core.OrderForward,
+	})
+}
+
+// TriadRegion identifies a residency class of the TRIAD sweep.
+type TriadRegion int
+
+// Residency regions of the TRIAD working-set sweep. The paper measures
+// DRAM and L3 (§IV-B); L1 and L2 are the future-work extension (§VII).
+const (
+	RegionDRAM TriadRegion = iota
+	RegionL3
+	RegionL2
+	RegionL1
+)
+
+// String names the region.
+func (tr TriadRegion) String() string {
+	switch tr {
+	case RegionDRAM:
+		return "DRAM"
+	case RegionL3:
+		return "L3"
+	case RegionL2:
+		return "L2"
+	default:
+		return "L1"
+	}
+}
+
+// triadRegionOf classifies a working set against the system's hierarchy,
+// mirroring the boundaries used by the bandwidth model.
+func triadRegionOf(sys hw.System, elems, sockets int) TriadRegion {
+	w := float64(units.TriadBytes(elems))
+	cores := float64(sys.Cores(sockets))
+	l1 := float64(sys.L1PerCore) * cores
+	l2 := float64(sys.L2PerCore) * cores
+	l3 := float64(sys.L3Total(sockets))
+	switch {
+	case w <= l1:
+		return RegionL1
+	case w <= l2:
+		return RegionL2
+	case w <= 0.9*l3:
+		return RegionL3
+	case w >= 4*l3:
+		return RegionDRAM
+	default:
+		// Transition zone around the L3 capacity edge: excluded from both
+		// regions' reported peaks, as the paper does by picking sizes that
+		// clearly fit or clearly spill.
+		return TriadRegion(-1)
+	}
+}
+
+// TriadRun holds one system's TRIAD results: the per-region peak outcome
+// for each socket configuration.
+type TriadRun struct {
+	System hw.System
+	// Peaks[sockets][region] is the best outcome of that region's search.
+	Peaks map[int]map[TriadRegion]*bench.Outcome
+	Total time.Duration
+}
+
+// Peak returns the region peak in GB/s, or 0 when absent.
+func (t *TriadRun) Peak(sockets int, region TriadRegion) float64 {
+	if m, ok := t.Peaks[sockets]; ok {
+		if o, ok := m[region]; ok && o != nil {
+			return o.Mean / 1e9
+		}
+	}
+	return 0
+}
+
+// RunTriad performs the TRIAD autotuning campaign for a system: for each
+// socket configuration, a separate search per residency region (searching
+// globally would let stop condition 4 prune every DRAM-resident size
+// against the faster L3 sizes). Affinity follows §III-B: close for
+// single-socket runs, spread across sockets otherwise.
+func (r *Runner) RunTriad(sys hw.System, budget bench.Budget) (*TriadRun, error) {
+	eng := bench.NewSimEngine(sys, r.Seed)
+	run := &TriadRun{System: sys, Peaks: map[int]map[TriadRegion]*bench.Outcome{}}
+	space := core.TriadSpace()
+
+	socketConfigs := []int{1}
+	if sys.Sockets > 1 {
+		socketConfigs = append(socketConfigs, sys.Sockets)
+	}
+	for _, sockets := range socketConfigs {
+		aff := hw.AffinityClose
+		if sockets > 1 {
+			aff = hw.AffinitySpread
+		}
+		regions := map[TriadRegion][]bench.Case{}
+		for _, elems := range space {
+			region := triadRegionOf(sys, elems, sockets)
+			if region < 0 {
+				continue
+			}
+			regions[region] = append(regions[region], eng.TriadCase(elems, aff, sockets))
+		}
+		run.Peaks[sockets] = map[TriadRegion]*bench.Outcome{}
+		for region, cases := range regions {
+			tuner := core.NewTuner(eng.Clock, budget, core.OrderForward)
+			res, err := tuner.Run(cases)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s TRIAD %v S%d: %w", sys.Name, region, sockets, err)
+			}
+			run.Peaks[sockets][region] = res.Best
+		}
+	}
+	run.Total = eng.Clock.Now()
+	return run, nil
+}

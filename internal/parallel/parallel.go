@@ -1,0 +1,132 @@
+// Package parallel provides the goroutine-based substitute for the paper's
+// OpenMP layer: a static partitioner that divides index ranges into
+// contiguous blocks of N/threads elements (OpenMP `schedule(static)` with
+// the default chunk, as the paper's TRIAD uses), and a reusable worker
+// pool that executes the partitions.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// StaticPartition divides [0, n) into at most p contiguous blocks whose
+// sizes differ by at most one — the OpenMP static schedule with default
+// chunking ("the block size was left to the default value of N/cores",
+// §III-B). Fewer than p ranges are returned when n < p. p < 1 panics.
+func StaticPartition(n, p int) []Range {
+	if p < 1 {
+		panic("parallel: StaticPartition with p < 1")
+	}
+	if n <= 0 {
+		return nil
+	}
+	if p > n {
+		p = n
+	}
+	ranges := make([]Range, p)
+	base := n / p
+	rem := n % p
+	lo := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		ranges[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return ranges
+}
+
+// For runs body(lo, hi) over a static partition of [0, n) using p
+// goroutines and waits for completion. With p <= 1 the body runs inline.
+func For(n, p int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	ranges := StaticPartition(n, p)
+	if len(ranges) == 1 {
+		body(ranges[0].Lo, ranges[0].Hi)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges) - 1)
+	for _, r := range ranges[1:] {
+		go func(r Range) {
+			defer wg.Done()
+			body(r.Lo, r.Hi)
+		}(r)
+	}
+	body(ranges[0].Lo, ranges[0].Hi)
+	wg.Wait()
+}
+
+// DefaultThreads returns the degree of parallelism used by the native
+// kernels: GOMAXPROCS, the Go analogue of OMP_NUM_THREADS.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Pool is a fixed set of workers that repeatedly execute task batches.
+// It amortises goroutine startup across benchmark iterations, like an
+// OpenMP thread team persisting across parallel regions.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup // tracks in-flight tasks of the current batch
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewPool starts a pool with the given worker count (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan func(), workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes body(lo, hi) over a static partition of [0, n) on the pool
+// and blocks until every block has finished.
+func (p *Pool) Run(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	ranges := StaticPartition(n, p.workers)
+	p.wg.Add(len(ranges))
+	for _, r := range ranges {
+		r := r
+		p.tasks <- func() { body(r.Lo, r.Hi) }
+	}
+	p.wg.Wait()
+}
+
+// Close shuts the workers down. The pool must be idle; Run must not be
+// called after Close. Close is idempotent.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	defer p.closeMu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestStaticPartitionProperties(t *testing.T) {
+	// OpenMP static schedule invariants: blocks cover [0, n) exactly
+	// once, in order, with sizes differing by at most one.
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw % 10000)
+		p := int(pRaw%64) + 1
+		ranges := StaticPartition(n, p)
+		if n == 0 {
+			return len(ranges) == 0
+		}
+		lo := 0
+		minLen, maxLen := 1<<30, 0
+		for _, r := range ranges {
+			if r.Lo != lo || r.Hi <= r.Lo {
+				return false
+			}
+			lo = r.Hi
+			if l := r.Len(); l < minLen {
+				minLen = l
+			}
+			if l := r.Len(); l > maxLen {
+				maxLen = l
+			}
+		}
+		return lo == n && maxLen-minLen <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticPartitionMoreWorkersThanWork(t *testing.T) {
+	ranges := StaticPartition(3, 16)
+	if len(ranges) != 3 {
+		t.Fatalf("got %d ranges, want 3 (no empty blocks)", len(ranges))
+	}
+}
+
+func TestStaticPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p < 1 must panic")
+		}
+	}()
+	StaticPartition(10, 0)
+}
+
+func TestForSums(t *testing.T) {
+	const n = 100000
+	var sum int64
+	For(n, 8, func(lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&sum, local)
+	})
+	want := int64(n) * (n - 1) / 2
+	if sum != want {
+		t.Fatalf("For sum = %d, want %d", sum, want)
+	}
+}
+
+func TestForSerialEquivalence(t *testing.T) {
+	out1 := make([]int, 1000)
+	out8 := make([]int, 1000)
+	body := func(out []int) func(lo, hi int) {
+		return func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		}
+	}
+	For(1000, 1, body(out1))
+	For(1000, 8, body(out8))
+	for i := range out1 {
+		if out1[i] != out8[i] {
+			t.Fatalf("parallel result differs at %d", i)
+		}
+	}
+}
+
+func TestForZeroWork(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not run for n=0")
+	}
+}
+
+func TestPoolRun(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	if pool.Workers() != 4 {
+		t.Fatalf("Workers = %d", pool.Workers())
+	}
+	var sum int64
+	for round := 0; round < 10; round++ { // reuse across batches
+		atomic.StoreInt64(&sum, 0)
+		pool.Run(5000, func(lo, hi int) {
+			atomic.AddInt64(&sum, int64(hi-lo))
+		})
+		if sum != 5000 {
+			t.Fatalf("round %d: covered %d of 5000", round, sum)
+		}
+	}
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	pool := NewPool(0)
+	defer pool.Close()
+	if pool.Workers() != 1 {
+		t.Fatalf("Workers = %d, want clamp to 1", pool.Workers())
+	}
+	ran := false
+	pool.Run(1, func(lo, hi int) { ran = true })
+	if !ran {
+		t.Fatal("single worker pool did not run")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	pool := NewPool(2)
+	pool.Close()
+	pool.Close() // must not panic
+}
+
+func TestDefaultThreadsPositive(t *testing.T) {
+	if DefaultThreads() < 1 {
+		t.Fatal("DefaultThreads must be >= 1")
+	}
+}

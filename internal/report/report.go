@@ -1,0 +1,272 @@
+// Package report renders experiment artifacts the way the paper presents
+// them: numbered tables with aligned columns (text, Markdown, CSV) and
+// figure data series (TSV for plotting tools, ASCII bar charts for
+// terminals).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) *Table {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// AddNote appends a footnote (the paper uses these for the min-count
+// blocks of Table IX).
+func (t *Table) AddNote(note string) *Table {
+	t.Notes = append(t.Notes, note)
+	return t
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Text renders the table with aligned columns for terminal output.
+func (t *Table) Text() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, x := range w {
+		total += x + 2
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// Markdown renders a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("### " + t.Title + "\n\n")
+	}
+	sb.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("\n*" + n + "*\n")
+	}
+	return sb.String()
+}
+
+// CSV renders comma-separated values with minimal quoting.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = esc(h)
+	}
+	sb.WriteString(strings.Join(cells, ",") + "\n")
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		sb.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return sb.String()
+}
+
+// Series is one named data series of a figure.
+type Series struct {
+	Name   string
+	Labels []string  // categorical X (bar charts); empty for numeric X
+	X      []float64 // numeric X (line plots)
+	Y      []float64
+}
+
+// Figure is a titled collection of series.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// Add appends a series.
+func (f *Figure) Add(s Series) *Figure {
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// TSV emits the figure as tab-separated columns: one X column followed by
+// one column per series — directly consumable by gnuplot or pandas.
+func (f *Figure) TSV() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", f.Title)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	sb.WriteString(strings.Join(header, "\t") + "\n")
+	rows := 0
+	for _, s := range f.Series {
+		if n := len(s.Y); n > rows {
+			rows = n
+		}
+	}
+	for r := 0; r < rows; r++ {
+		var cells []string
+		switch {
+		case len(f.Series) > 0 && r < len(f.Series[0].Labels):
+			cells = append(cells, f.Series[0].Labels[r])
+		case len(f.Series) > 0 && r < len(f.Series[0].X):
+			cells = append(cells, fmt.Sprintf("%g", f.Series[0].X[r]))
+		default:
+			cells = append(cells, fmt.Sprintf("%d", r))
+		}
+		for _, s := range f.Series {
+			if r < len(s.Y) {
+				cells = append(cells, fmt.Sprintf("%g", s.Y[r]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		sb.WriteString(strings.Join(cells, "\t") + "\n")
+	}
+	return sb.String()
+}
+
+// BarChartASCII renders grouped horizontal bars, one group per label —
+// the terminal rendition of the paper's bar figures (Figs. 3-5).
+func (f *Figure) BarChartASCII(width int) string {
+	if width < 30 {
+		width = 30
+	}
+	var maxY float64
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	var sb strings.Builder
+	if f.Title != "" {
+		sb.WriteString(f.Title + "\n")
+	}
+	labels := f.groupLabels()
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, s := range f.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for gi, label := range labels {
+		for si, s := range f.Series {
+			if gi >= len(s.Y) {
+				continue
+			}
+			bar := int(s.Y[gi] / maxY * float64(width))
+			if bar < 0 {
+				bar = 0
+			}
+			rowLabel := ""
+			if si == 0 {
+				rowLabel = label
+			}
+			fmt.Fprintf(&sb, "%-*s  %-*s |%s %.4g\n", labelW, rowLabel, nameW, s.Name,
+				strings.Repeat("#", bar), s.Y[gi])
+		}
+	}
+	fmt.Fprintf(&sb, "(%s; max = %.4g)\n", f.YLabel, maxY)
+	return sb.String()
+}
+
+func (f *Figure) groupLabels() []string {
+	var labels []string
+	for _, s := range f.Series {
+		if len(s.Labels) > len(labels) {
+			labels = s.Labels
+		}
+	}
+	if labels == nil {
+		rows := 0
+		for _, s := range f.Series {
+			if len(s.Y) > rows {
+				rows = len(s.Y)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			labels = append(labels, fmt.Sprintf("%d", i))
+		}
+	}
+	return labels
+}

@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Table T: demo", "System", "FS1", "FS2")
+	t.AddRow("2650v4", "408.71 (96.76%)", "773.51 (91.56%)")
+	t.AddRow("Gold 6148", "1422.24", "2407.33")
+	t.AddNote("a footnote")
+	return t
+}
+
+func TestTableText(t *testing.T) {
+	out := sampleTable().Text()
+	for _, frag := range []string{"Table T: demo", "System", "2650v4", "Gold 6148", "note: a footnote"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("text table missing %q:\n%s", frag, out)
+		}
+	}
+	// Columns are aligned: every data line has the second column starting
+	// at the same offset.
+	lines := strings.Split(out, "\n")
+	idx := strings.Index(lines[1], "FS1")
+	if idx < 0 {
+		t.Fatal("header line")
+	}
+	if !strings.HasPrefix(lines[3][idx:], "408.71") {
+		t.Fatalf("misaligned column:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	out := sampleTable().Markdown()
+	if !strings.Contains(out, "| System | FS1 | FS2 |") {
+		t.Fatalf("markdown header:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Fatal("markdown separator")
+	}
+	if !strings.Contains(out, "*a footnote*") {
+		t.Fatal("markdown note")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	tbl.AddRow(`has,comma`, `has"quote`)
+	out := tbl.CSV()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote not escaped: %s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("CSV line count %d", lines)
+	}
+}
+
+func TestTableShortRowPadding(t *testing.T) {
+	tbl := NewTable("x", "a", "b", "c")
+	tbl.AddRow("only-one")
+	if got := len(tbl.Rows[0]); got != 3 {
+		t.Fatalf("row padded to %d cells", got)
+	}
+}
+
+func TestFigureTSV(t *testing.T) {
+	f := NewFigure("fig", "x", "y")
+	f.Add(Series{Name: "s1", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}})
+	f.Add(Series{Name: "s2", X: []float64{1, 2, 3}, Y: []float64{5, 6, 7}})
+	out := f.TSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "# fig" {
+		t.Fatalf("TSV title: %q", lines[0])
+	}
+	if lines[1] != "x\ts1\ts2" {
+		t.Fatalf("TSV header: %q", lines[1])
+	}
+	if lines[2] != "1\t10\t5" {
+		t.Fatalf("TSV row: %q", lines[2])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("TSV rows: %d", len(lines))
+	}
+}
+
+func TestFigureTSVLabels(t *testing.T) {
+	f := NewFigure("fig", "sys", "v")
+	f.Add(Series{Name: "s", Labels: []string{"a", "b"}, Y: []float64{1, 2}})
+	out := f.TSV()
+	if !strings.Contains(out, "a\t1") || !strings.Contains(out, "b\t2") {
+		t.Fatalf("labelled TSV:\n%s", out)
+	}
+}
+
+func TestBarChartASCII(t *testing.T) {
+	f := NewFigure("speedups", "technique", "x")
+	f.Add(Series{Name: "2650v4", Labels: []string{"C", "C+I"}, Y: []float64{3.3, 20.1}})
+	f.Add(Series{Name: "Gold 6148", Labels: []string{"C", "C+I"}, Y: []float64{4.9, 9.8}})
+	out := f.BarChartASCII(40)
+	for _, frag := range []string{"speedups", "2650v4", "Gold 6148", "C+I", "#", "20.1"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("bar chart missing %q:\n%s", frag, out)
+		}
+	}
+	// The largest value must render the longest bar.
+	longest := strings.Repeat("#", 40)
+	if !strings.Contains(out, longest) {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+}
+
+func TestBarChartEmptySeries(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	if out := f.BarChartASCII(10); !strings.Contains(out, "empty") {
+		t.Fatal("empty figure render")
+	}
+}

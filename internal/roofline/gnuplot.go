@@ -1,0 +1,104 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rooftune/internal/units"
+)
+
+// RenderGnuplot emits a self-contained gnuplot script that reproduces the
+// model as a publication-style log-log roofline figure, for users who
+// want the paper's actual plotting toolchain rather than the built-in
+// ASCII/SVG renderers. Pipe it to gnuplot:
+//
+//	rooftool -system "Gold 6148" -format gnuplot | gnuplot > roofline.png
+func (m *Model) RenderGnuplot() string {
+	loI, hiI := m.intensityRange()
+	var sb strings.Builder
+	sb.WriteString("set terminal pngcairo size 900,600\n")
+	sb.WriteString("set logscale xy\n")
+	fmt.Fprintf(&sb, "set xrange [%g:%g]\n", loI, hiI)
+	sb.WriteString("set xlabel 'Operational Intensity (FLOP/byte)'\n")
+	sb.WriteString("set ylabel 'GFLOP/s'\n")
+	if m.Title != "" {
+		fmt.Fprintf(&sb, "set title %q\n", m.Title)
+	}
+	sb.WriteString("set key left top\n")
+
+	mem, comp := m.SortedCeilings()
+	var plots []string
+	// One curve per (memory, top-compute) pair: min(B*I, Fp) in GFLOP/s.
+	top := comp[0]
+	for _, mc := range mem {
+		plots = append(plots, fmt.Sprintf("min(%g*x, %g) title %q",
+			mc.Bandwidth.GBps(), top.Flops.GFLOPS(), mc.Name))
+	}
+	// Flat lines for the remaining compute roofs.
+	for _, cc := range comp[1:] {
+		plots = append(plots, fmt.Sprintf("%g title %q", cc.Flops.GFLOPS(), cc.Name))
+	}
+	sb.WriteString("min(a,b) = (a < b) ? a : b\n")
+	sb.WriteString("plot " + strings.Join(plots, ", \\\n     ") + "\n")
+
+	// Application points as labelled markers.
+	for i, p := range m.Points {
+		if p.Intensity <= 0 || p.Flops <= 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "set label %d %q at %g,%g point pt 7\n",
+			i+1, p.Name, float64(p.Intensity), p.Flops.GFLOPS())
+	}
+	return sb.String()
+}
+
+// Summary returns a text table of the model: each ceiling, every ridge
+// point, and each application point's bound classification — the numeric
+// companion to the graph.
+func (m *Model) Summary() string {
+	var sb strings.Builder
+	mem, comp := m.SortedCeilings()
+	if m.Title != "" {
+		sb.WriteString(m.Title + "\n")
+	}
+	for _, cc := range comp {
+		fmt.Fprintf(&sb, "compute ceiling: %-28s %s\n", cc.Name, cc.Flops)
+	}
+	for _, mc := range mem {
+		fmt.Fprintf(&sb, "memory ceiling:  %-28s %s\n", mc.Name, mc.Bandwidth)
+	}
+	for _, cc := range comp {
+		for _, mc := range mem {
+			r := Ridge(mc.Bandwidth, cc.Flops)
+			fmt.Fprintf(&sb, "ridge %s x %s: I* = %.3f FLOP/B\n", mc.Name, cc.Name, float64(r))
+		}
+	}
+	for _, p := range m.Points {
+		att := m.AttainableMax(p.Intensity)
+		frac := math.NaN()
+		if att > 0 {
+			frac = float64(p.Flops) / float64(att)
+		}
+		fmt.Fprintf(&sb, "point %-10s I=%.4g: %s (%.0f%% of attainable, %s)\n",
+			p.Name, float64(p.Intensity), p.Flops, 100*frac,
+			boundAgainstBest(m, p.Intensity))
+	}
+	return sb.String()
+}
+
+func boundAgainstBest(m *Model, i units.Intensity) string {
+	var bestB units.Bandwidth
+	for _, c := range m.Memory {
+		if c.Bandwidth > bestB {
+			bestB = c.Bandwidth
+		}
+	}
+	var bestF units.Flops
+	for _, c := range m.Compute {
+		if c.Flops > bestF {
+			bestF = c.Flops
+		}
+	}
+	return Bound(bestB, bestF, i)
+}

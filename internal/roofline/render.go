@@ -1,0 +1,196 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rooftune/internal/units"
+)
+
+// RenderASCII draws the roofline graph as a text plot with logarithmic
+// axes: intensity (FLOP/byte) on X, GFLOP/s on Y — the terminal rendition
+// of the paper's Fig. 1. width and height are the plot grid dimensions in
+// characters (sane minimums are enforced).
+func (m *Model) RenderASCII(width, height int) string {
+	if width < 40 {
+		width = 40
+	}
+	if height < 12 {
+		height = 12
+	}
+	loI, hiI := m.intensityRange()
+
+	// Y range: from well under the lowest roofline start to the top roof.
+	var topF float64
+	for _, c := range m.Compute {
+		topF = math.Max(topF, float64(c.Flops))
+	}
+	minB := math.Inf(1)
+	for _, c := range m.Memory {
+		minB = math.Min(minB, float64(c.Bandwidth))
+	}
+	loF := minB * loI
+	hiF := topF * 2
+	if loF <= 0 || math.IsInf(loF, 0) {
+		loF = 1e9
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	// Map (I, F) in log space to grid coordinates.
+	toXY := func(i, f float64) (int, int, bool) {
+		if i <= 0 || f <= 0 {
+			return 0, 0, false
+		}
+		x := int(math.Round((math.Log10(i) - math.Log10(loI)) /
+			(math.Log10(hiI) - math.Log10(loI)) * float64(width-1)))
+		y := int(math.Round((math.Log10(f) - math.Log10(loF)) /
+			(math.Log10(hiF) - math.Log10(loF)) * float64(height-1)))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return 0, 0, false
+		}
+		return x, height - 1 - y, true
+	}
+
+	mem, comp := m.SortedCeilings()
+	marks := "abcdefghij"
+	// Draw each memory/compute roofline pair: the diagonal up to the
+	// ridge, then the flat roof.
+	for mi, mc := range mem {
+		for _, cc := range comp {
+			for px := 0; px < width; px++ {
+				i := math.Pow(10, math.Log10(loI)+
+					(math.Log10(hiI)-math.Log10(loI))*float64(px)/float64(width-1))
+				f := float64(Attainable(mc.Bandwidth, cc.Flops, units.Intensity(i)))
+				if x, y, ok := toXY(i, f); ok {
+					ch := byte('-')
+					if f < float64(cc.Flops) {
+						ch = marks[mi%len(marks)] // diagonal segment labelled per memory roof
+					}
+					if grid[y][x] == ' ' {
+						grid[y][x] = ch
+					}
+				}
+			}
+		}
+	}
+	// Application points.
+	for pi, p := range m.Points {
+		if x, y, ok := toXY(float64(p.Intensity), float64(p.Flops)); ok {
+			grid[y][x] = byte('0' + pi%10)
+		}
+	}
+
+	var sb strings.Builder
+	if m.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", m.Title)
+	}
+	fmt.Fprintf(&sb, "GFLOP/s (log), Y: %.3g .. %.3g\n", loF/1e9, hiF/1e9)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, " I = %.3g .. %.3g FLOP/byte (log)\n", loI, hiI)
+	for mi, mc := range mem {
+		fmt.Fprintf(&sb, " %c: %s (%s)\n", marks[mi%len(marks)], mc.Name, mc.Bandwidth)
+	}
+	for _, cc := range comp {
+		fmt.Fprintf(&sb, " -: %s (%s)\n", cc.Name, cc.Flops)
+	}
+	for pi, p := range m.Points {
+		fmt.Fprintf(&sb, " %d: %s (I=%.3g, %s)\n", pi%10, p.Name, float64(p.Intensity), p.Flops)
+	}
+	return sb.String()
+}
+
+// RenderSVG draws the graph as a standalone SVG document.
+func (m *Model) RenderSVG(width, height int) string {
+	if width < 320 {
+		width = 320
+	}
+	if height < 240 {
+		height = 240
+	}
+	const margin = 60
+	plotW, plotH := float64(width-2*margin), float64(height-2*margin)
+
+	loI, hiI := m.intensityRange()
+	var topF float64
+	for _, c := range m.Compute {
+		topF = math.Max(topF, float64(c.Flops))
+	}
+	minB := math.Inf(1)
+	for _, c := range m.Memory {
+		minB = math.Min(minB, float64(c.Bandwidth))
+	}
+	loF, hiF := minB*loI, topF*2
+
+	toXY := func(i, f float64) (float64, float64) {
+		x := margin + plotW*(math.Log10(i)-math.Log10(loI))/(math.Log10(hiI)-math.Log10(loI))
+		y := float64(height) - margin - plotH*(math.Log10(f)-math.Log10(loF))/(math.Log10(hiF)-math.Log10(loF))
+		return x, y
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if m.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="16" font-family="sans-serif">%s</text>`+"\n",
+			margin, escapeXML(m.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" font-family="sans-serif">Operational Intensity (FLOP/byte, log)</text>`+"\n",
+		width/2-110, height-16)
+	fmt.Fprintf(&sb, `<text x="14" y="%d" font-size="12" font-family="sans-serif" transform="rotate(-90 14 %d)">GFLOP/s (log)</text>`+"\n",
+		height/2, height/2)
+
+	colors := []string{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"}
+	mem, comp := m.SortedCeilings()
+	legendY := margin
+	for ci, cc := range comp {
+		color := colors[(len(mem)+ci)%len(colors)]
+		for mi, mc := range mem {
+			ridge := float64(Ridge(mc.Bandwidth, cc.Flops))
+			x0, y0 := toXY(loI, float64(mc.Bandwidth)*loI)
+			xr, yr := toXY(ridge, float64(cc.Flops))
+			x1, y1 := toXY(hiI, float64(cc.Flops))
+			mcolor := colors[mi%len(colors)]
+			fmt.Fprintf(&sb, `<polyline points="%.1f,%.1f %.1f,%.1f" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				x0, y0, xr, yr, mcolor)
+			fmt.Fprintf(&sb, `<polyline points="%.1f,%.1f %.1f,%.1f" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				xr, yr, x1, y1, color)
+		}
+	}
+	for mi, mc := range mem {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" font-family="sans-serif" fill="%s">%s (%s)</text>`+"\n",
+			width-margin-230, legendY+14*mi, colors[mi%len(colors)], escapeXML(mc.Name), mc.Bandwidth)
+	}
+	for ci, cc := range comp {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" font-family="sans-serif" fill="%s">%s (%s)</text>`+"\n",
+			width-margin-230, legendY+14*(len(mem)+ci), colors[(len(mem)+ci)%len(colors)], escapeXML(cc.Name), cc.Flops)
+	}
+	for pi, p := range m.Points {
+		x, y := toXY(float64(p.Intensity), float64(p.Flops))
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="4" fill="black"/>`+"\n", x, y)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif">%s</text>`+"\n",
+			x+6, y-4, escapeXML(p.Name))
+		_ = pi
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,199 @@
+// Package roofline constructs and renders Roofline models (Williams et
+// al.): attainable performance as a function of operational intensity,
+// bounded by memory-bandwidth ceilings and compute ceilings (Eq. 2 of the
+// paper). The package renders the Fig. 1-style graph as ASCII for
+// terminals, as SVG for documents, and exports the model as JSON.
+package roofline
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"rooftune/internal/units"
+)
+
+// MemoryCeiling is one bandwidth roof (e.g. "DRAM, 1 socket").
+type MemoryCeiling struct {
+	Name      string
+	Bandwidth units.Bandwidth
+}
+
+// ComputeCeiling is one flat compute roof (e.g. "DGEMM peak, 2 sockets").
+type ComputeCeiling struct {
+	Name  string
+	Flops units.Flops
+}
+
+// Point is a measured or modelled application point on the graph.
+type Point struct {
+	Name      string
+	Intensity units.Intensity
+	Flops     units.Flops
+}
+
+// Model is a complete roofline: any number of bandwidth and compute
+// ceilings, plus optional application points.
+type Model struct {
+	Title   string
+	Memory  []MemoryCeiling
+	Compute []ComputeCeiling
+	Points  []Point
+}
+
+// Add ceilings and points fluently.
+func (m *Model) AddMemory(name string, b units.Bandwidth) *Model {
+	m.Memory = append(m.Memory, MemoryCeiling{Name: name, Bandwidth: b})
+	return m
+}
+
+// AddCompute appends a compute ceiling.
+func (m *Model) AddCompute(name string, f units.Flops) *Model {
+	m.Compute = append(m.Compute, ComputeCeiling{Name: name, Flops: f})
+	return m
+}
+
+// AddPoint appends an application point.
+func (m *Model) AddPoint(name string, i units.Intensity, f units.Flops) *Model {
+	m.Points = append(m.Points, Point{Name: name, Intensity: i, Flops: f})
+	return m
+}
+
+// Validate checks that the model has at least one ceiling of each kind
+// and positive values.
+func (m *Model) Validate() error {
+	if len(m.Memory) == 0 {
+		return fmt.Errorf("roofline: no memory ceilings")
+	}
+	if len(m.Compute) == 0 {
+		return fmt.Errorf("roofline: no compute ceilings")
+	}
+	for _, c := range m.Memory {
+		if c.Bandwidth <= 0 {
+			return fmt.Errorf("roofline: memory ceiling %q non-positive", c.Name)
+		}
+	}
+	for _, c := range m.Compute {
+		if c.Flops <= 0 {
+			return fmt.Errorf("roofline: compute ceiling %q non-positive", c.Name)
+		}
+	}
+	return nil
+}
+
+// Attainable evaluates Eq. 2 for a given pair of ceilings:
+// F(I) = min(B*I, Fp).
+func Attainable(b units.Bandwidth, fp units.Flops, i units.Intensity) units.Flops {
+	v := float64(b) * float64(i)
+	if v > float64(fp) {
+		return fp
+	}
+	return units.Flops(v)
+}
+
+// AttainableMax evaluates the model's best attainable performance at
+// intensity i: the maximum over bandwidth ceilings capped by the maximum
+// compute ceiling.
+func (m *Model) AttainableMax(i units.Intensity) units.Flops {
+	var bestB units.Bandwidth
+	for _, c := range m.Memory {
+		if c.Bandwidth > bestB {
+			bestB = c.Bandwidth
+		}
+	}
+	var bestF units.Flops
+	for _, c := range m.Compute {
+		if c.Flops > bestF {
+			bestF = c.Flops
+		}
+	}
+	return Attainable(bestB, bestF, i)
+}
+
+// Ridge returns the ridge point (the intensity where the memory roof
+// meets the compute roof) for a ceiling pair: I* = Fp / B. Below it the
+// pair is memory-bound; above, compute-bound.
+func Ridge(b units.Bandwidth, fp units.Flops) units.Intensity {
+	if b <= 0 {
+		return units.Intensity(math.Inf(1))
+	}
+	return units.Intensity(float64(fp) / float64(b))
+}
+
+// Bound classifies intensity i against a ceiling pair.
+func Bound(b units.Bandwidth, fp units.Flops, i units.Intensity) string {
+	if i < Ridge(b, fp) {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// intensityRange picks the graph's X range: from well below the smallest
+// ridge (and any point) to well above the largest.
+func (m *Model) intensityRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, mc := range m.Memory {
+		for _, cc := range m.Compute {
+			r := float64(Ridge(mc.Bandwidth, cc.Flops))
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+		}
+	}
+	for _, p := range m.Points {
+		lo = math.Min(lo, float64(p.Intensity))
+		hi = math.Max(hi, float64(p.Intensity))
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0.01, 100
+	}
+	lo /= 8
+	hi *= 8
+	if lo <= 0 {
+		lo = 1.0 / 64
+	}
+	return lo, hi
+}
+
+// MarshalJSON exports the model with engineering-friendly field names.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	type memJSON struct {
+		Name string  `json:"name"`
+		GBps float64 `json:"gbps"`
+	}
+	type compJSON struct {
+		Name   string  `json:"name"`
+		GFLOPS float64 `json:"gflops"`
+	}
+	type ptJSON struct {
+		Name      string  `json:"name"`
+		Intensity float64 `json:"flop_per_byte"`
+		GFLOPS    float64 `json:"gflops"`
+	}
+	out := struct {
+		Title   string     `json:"title"`
+		Memory  []memJSON  `json:"memory_ceilings"`
+		Compute []compJSON `json:"compute_ceilings"`
+		Points  []ptJSON   `json:"points,omitempty"`
+	}{Title: m.Title}
+	for _, c := range m.Memory {
+		out.Memory = append(out.Memory, memJSON{c.Name, c.Bandwidth.GBps()})
+	}
+	for _, c := range m.Compute {
+		out.Compute = append(out.Compute, compJSON{c.Name, c.Flops.GFLOPS()})
+	}
+	for _, p := range m.Points {
+		out.Points = append(out.Points, ptJSON{p.Name, float64(p.Intensity), p.Flops.GFLOPS()})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SortedCeilings returns memory ceilings by descending bandwidth and
+// compute ceilings by descending peak — legend order.
+func (m *Model) SortedCeilings() ([]MemoryCeiling, []ComputeCeiling) {
+	mem := append([]MemoryCeiling(nil), m.Memory...)
+	comp := append([]ComputeCeiling(nil), m.Compute...)
+	sort.Slice(mem, func(i, j int) bool { return mem[i].Bandwidth > mem[j].Bandwidth })
+	sort.Slice(comp, func(i, j int) bool { return comp[i].Flops > comp[j].Flops })
+	return mem, comp
+}

@@ -1,0 +1,228 @@
+package roofline
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rooftune/internal/units"
+)
+
+func exampleModel() *Model {
+	// The paper's Fig. 1 shape: four memory subsystems, two compute
+	// configurations (Gold 6148-like numbers).
+	m := &Model{Title: "example"}
+	m.AddMemory("DRAM S1", units.GBps(74.16))
+	m.AddMemory("L3 S1", units.GBps(547.11))
+	m.AddMemory("DRAM S2", units.GBps(139.8))
+	m.AddMemory("L3 S2", units.GBps(1000.1))
+	m.AddCompute("DGEMM S1", units.GFLOPS(1422.24))
+	m.AddCompute("DGEMM S2", units.GFLOPS(2407.33))
+	m.AddPoint("TRIAD", units.TriadIntensity, units.GFLOPS(139.8/12))
+	return m
+}
+
+func TestAttainableEq2(t *testing.T) {
+	// Eq. 2: F(I) = min(B*I, Fp).
+	b := units.GBps(100)
+	fp := units.GFLOPS(1000)
+	if got := Attainable(b, fp, 1); got.GFLOPS() != 100 {
+		t.Fatalf("memory-bound side: %v", got)
+	}
+	if got := Attainable(b, fp, 100); got.GFLOPS() != 1000 {
+		t.Fatalf("compute-bound side: %v", got)
+	}
+	// At the ridge the two sides meet.
+	ridge := Ridge(b, fp)
+	if math.Abs(float64(ridge)-10) > 1e-12 {
+		t.Fatalf("ridge = %v, want 10 FLOP/B", ridge)
+	}
+	if got := Attainable(b, fp, ridge); math.Abs(got.GFLOPS()-1000) > 1e-9 {
+		t.Fatalf("at ridge: %v", got)
+	}
+}
+
+func TestAttainableProperties(t *testing.T) {
+	f := func(bRaw, fpRaw, iRaw uint16) bool {
+		b := units.Bandwidth(float64(bRaw) + 1)
+		fp := units.Flops(float64(fpRaw) + 1)
+		i := units.Intensity(float64(iRaw)/100 + 0.001)
+		got := Attainable(b, fp, i)
+		// Never exceeds either bound, always positive.
+		return float64(got) <= float64(fp)+1e-9 &&
+			float64(got) <= float64(b)*float64(i)+1e-9 &&
+			got > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundClassification(t *testing.T) {
+	b := units.GBps(100)
+	fp := units.GFLOPS(1000)
+	if Bound(b, fp, 1) != "memory-bound" {
+		t.Fatal("I=1 < ridge=10 must be memory-bound")
+	}
+	if Bound(b, fp, 100) != "compute-bound" {
+		t.Fatal("I=100 > ridge must be compute-bound")
+	}
+	// TRIAD (1/12 FLOP/B) is memory-bound on every paper system.
+	if Bound(units.GBps(76.8), units.GFLOPS(422.4), units.TriadIntensity) != "memory-bound" {
+		t.Fatal("TRIAD must be memory-bound")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := exampleModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Model{}).Validate(); err == nil {
+		t.Fatal("empty model must not validate")
+	}
+	bad := exampleModel()
+	bad.Memory[0].Bandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bandwidth must not validate")
+	}
+	bad2 := exampleModel()
+	bad2.Compute[0].Flops = -1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative compute must not validate")
+	}
+}
+
+func TestAttainableMax(t *testing.T) {
+	m := exampleModel()
+	// Far right: the tallest compute roof.
+	if got := m.AttainableMax(1e6).GFLOPS(); math.Abs(got-2407.33) > 1e-9 {
+		t.Fatalf("AttainableMax high-I = %v", got)
+	}
+	// Far left: the best bandwidth times I.
+	if got := m.AttainableMax(0.01).GFLOPS(); math.Abs(got-1000.1*0.01) > 1e-9 {
+		t.Fatalf("AttainableMax low-I = %v", got)
+	}
+}
+
+func TestSortedCeilings(t *testing.T) {
+	m := exampleModel()
+	mem, comp := m.SortedCeilings()
+	for i := 1; i < len(mem); i++ {
+		if mem[i].Bandwidth > mem[i-1].Bandwidth {
+			t.Fatal("memory ceilings not descending")
+		}
+	}
+	for i := 1; i < len(comp); i++ {
+		if comp[i].Flops > comp[i-1].Flops {
+			t.Fatal("compute ceilings not descending")
+		}
+	}
+	// Original model untouched.
+	if m.Memory[0].Name != "DRAM S1" {
+		t.Fatal("SortedCeilings must not mutate the model")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := exampleModel().RenderASCII(72, 18)
+	for _, frag := range []string{"example", "GFLOP/s", "a:", "DRAM", "TRIAD"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("ASCII render missing %q:\n%s", frag, out)
+		}
+	}
+	// The diagonal marker of the fastest memory roof and the flat roof
+	// marker must both appear in the plot body.
+	if !strings.Contains(out, "aaa") || !strings.Contains(out, "---") {
+		t.Fatalf("plot body lacks roofline strokes:\n%s", out)
+	}
+	// Tiny dimensions are clamped, not broken.
+	if small := exampleModel().RenderASCII(1, 1); len(small) == 0 {
+		t.Fatal("clamped render empty")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	svg := exampleModel().RenderSVG(640, 480)
+	for _, frag := range []string{"<svg", "</svg>", "polyline", "Operational Intensity", "DRAM S1"} {
+		if !strings.Contains(svg, frag) {
+			t.Fatalf("SVG missing %q", frag)
+		}
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	m := exampleModel()
+	m.Title = `bad <&"> title`
+	svg := m.RenderSVG(400, 300)
+	if strings.Contains(svg, `bad <&"> title`) {
+		t.Fatal("unescaped XML in SVG")
+	}
+	if !strings.Contains(svg, "bad &lt;&amp;&quot;&gt; title") {
+		t.Fatal("expected escaped title")
+	}
+}
+
+func TestMarshalJSON(t *testing.T) {
+	b, err := exampleModel().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title  string `json:"title"`
+		Memory []struct {
+			Name string  `json:"name"`
+			GBps float64 `json:"gbps"`
+		} `json:"memory_ceilings"`
+		Compute []struct {
+			Name   string  `json:"name"`
+			GFLOPS float64 `json:"gflops"`
+		} `json:"compute_ceilings"`
+		Points []struct {
+			Name      string  `json:"name"`
+			Intensity float64 `json:"flop_per_byte"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "example" || len(decoded.Memory) != 4 || len(decoded.Compute) != 2 {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+	if math.Abs(decoded.Memory[0].GBps-74.16) > 1e-9 {
+		t.Fatalf("memory[0] = %v", decoded.Memory[0])
+	}
+	if math.Abs(decoded.Points[0].Intensity-1.0/12) > 1e-9 {
+		t.Fatalf("TRIAD point intensity = %v", decoded.Points[0].Intensity)
+	}
+}
+
+func TestRidgeZeroBandwidth(t *testing.T) {
+	if !math.IsInf(float64(Ridge(0, 1000)), 1) {
+		t.Fatal("ridge with zero bandwidth must be +Inf")
+	}
+}
+
+func TestRenderGnuplot(t *testing.T) {
+	script := exampleModel().RenderGnuplot()
+	for _, frag := range []string{"set logscale xy", "plot ", "min(", "DRAM S1", "set label 1 \"TRIAD\""} {
+		if !strings.Contains(script, frag) {
+			t.Fatalf("gnuplot script missing %q:\n%s", frag, script)
+		}
+	}
+}
+
+func TestModelSummary(t *testing.T) {
+	out := exampleModel().Summary()
+	for _, frag := range []string{"compute ceiling", "memory ceiling", "ridge", "TRIAD", "memory-bound"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, out)
+		}
+	}
+	// TRIAD at 1/12 FLOP/B is memory-bound against the best pair.
+	if strings.Contains(out, "TRIAD") && !strings.Contains(out, "memory-bound") {
+		t.Fatal("TRIAD must classify memory-bound")
+	}
+}

@@ -1,0 +1,337 @@
+// Package simstream models STREAM TRIAD bandwidth on the paper's systems:
+// which memory subsystem a working set resides in (L1/L2/L3/DRAM), how
+// affinity and socket count change the available channels, and the
+// measurement noise of a bandwidth benchmark. It is the memory-side
+// counterpart of simblas and the substitute for the Xeon nodes' memory
+// hierarchies.
+//
+// Calibration targets are Table VI of the paper. Two published behaviours
+// drive the model's shape:
+//
+//   - measured DRAM bandwidth *exceeds* the theoretical peak by 5-16%,
+//     which the authors attribute to "noise from the L3 cache": part of
+//     the working set is still L3-resident. We model that directly with a
+//     harmonic blend between DRAM and L3 service rates weighted by an
+//     L3 hit fraction h = hitC * L3/W, and solve hitC per system so the
+//     DRAM-region maximum equals the published number.
+//   - L3 bandwidth peaks for working sets comfortably inside the cache
+//     and collapses toward DRAM speed as W approaches capacity.
+package simstream
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+	"rooftune/internal/vclock"
+	"rooftune/internal/xrand"
+)
+
+// Params calibrates one (system, sockets) bandwidth curve.
+type Params struct {
+	DRAM units.Bandwidth // published DRAM-region peak (Table VI)
+	L3   units.Bandwidth // published L3-region peak (Table VI)
+	// L2 and L1 peaks for the future-work sweep (§VII); derived from L3
+	// when not set explicitly.
+	L2, L1 units.Bandwidth
+
+	// Noise model.
+	IterSigma, InvSigma   float64
+	SpikeProb, SpikeScale float64
+}
+
+// Model is a calibrated TRIAD bandwidth model for one system.
+type Model struct {
+	Sys    hw.System
+	params map[int]Params
+	hitC   map[int]float64 // solved L3-hit constant per socket count
+}
+
+// DRAMRegionFactor is the multiple of aggregate L3 capacity beyond which a
+// working set counts as DRAM-resident for reporting purposes; the maximum
+// of the blended curve over that region is the model's published DRAM
+// number.
+const DRAMRegionFactor = 4.0
+
+// L3RegionLow is the multiple of aggregate L2 capacity below which a
+// working set is considered L2-resident rather than L3.
+const L3RegionLow = 1.5
+
+// NewModel builds the bandwidth model for a system, solving the hit
+// constants so the published Table VI numbers are reproduced at the
+// DRAM-region boundary.
+func NewModel(sys hw.System) *Model {
+	m := &Model{Sys: sys, params: map[int]Params{}, hitC: map[int]float64{}}
+	calib, ok := streamCalibrations[sys.Name]
+	if !ok {
+		calib = genericStreamCalibration(sys)
+	}
+	for s, p := range calib {
+		if p.L2 == 0 {
+			p.L2 = units.Bandwidth(float64(p.L3) * 1.6)
+		}
+		if p.L1 == 0 {
+			p.L1 = units.Bandwidth(float64(p.L3) * 2.8)
+		}
+		m.params[s] = p
+		m.hitC[s] = m.solveHitC(s, p)
+	}
+	return m
+}
+
+// solveHitC finds c such that the blended bandwidth at the first canonical
+// sweep point inside the DRAM region (W >= DRAMRegionFactor * L3) equals
+// the published DRAM peak:
+//
+//	1 / ((1-h)/Bpure + h/BL3) = Bpub,  h = c * L3/W*
+//
+// where W* is that grid point. Solving at a realizable sweep size makes the
+// tuner's reported DRAM maximum land exactly on Table VI.
+func (m *Model) solveHitC(sockets int, p Params) float64 {
+	bPure := m.pureDRAM(sockets)
+	bPub := float64(p.DRAM)
+	bL3 := float64(p.L3)
+	if bPub <= bPure {
+		return 0 // published peak below pure DRAM: no L3 assist needed
+	}
+	l3 := float64(m.Sys.L3Total(sockets))
+	wStar := m.firstDRAMGridPoint(sockets)
+	// (1-h)/bPure + h/bL3 = 1/bPub  =>  h = (1/bPure - 1/bPub) / (1/bPure - 1/bL3)
+	h := (1/bPure - 1/bPub) / (1/bPure - 1/bL3)
+	if h < 0 {
+		h = 0
+	}
+	if h > 0.9 {
+		h = 0.9
+	}
+	return h * wStar / l3
+}
+
+// firstDRAMGridPoint returns the smallest canonical sweep working-set size
+// that counts as DRAM-resident for this socket count.
+func (m *Model) firstDRAMGridPoint(sockets int) float64 {
+	l3 := float64(m.Sys.L3Total(sockets))
+	for _, w := range units.CanonicalTriadGrid() {
+		if float64(w) >= DRAMRegionFactor*l3 {
+			return float64(w)
+		}
+	}
+	return DRAMRegionFactor * l3
+}
+
+// pureDRAM is the asymptotic DRAM bandwidth for enormous working sets:
+// slightly below theoretical (protocol overhead).
+func (m *Model) pureDRAM(sockets int) float64 {
+	return float64(m.Sys.TheoreticalBandwidth(sockets)) * 0.97
+}
+
+// ParamsFor returns the calibration for a socket count.
+func (m *Model) ParamsFor(sockets int) Params {
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > m.Sys.Sockets {
+		sockets = m.Sys.Sockets
+	}
+	if p, ok := m.params[sockets]; ok {
+		return p
+	}
+	for s := sockets; s >= 1; s-- {
+		if p, ok := m.params[s]; ok {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("simstream: no calibration for %s", m.Sys.Name))
+}
+
+// effectiveSockets returns how many sockets' memory channels serve the
+// benchmark: spread affinity engages every requested socket; close packs
+// threads and only spills with more than one socket requested when the
+// thread count exceeds one socket's cores — the paper always pairs close
+// with single-socket runs, so close on s>1 models partially remote access.
+func (m *Model) effectiveSockets(aff hw.Affinity, sockets int) float64 {
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > m.Sys.Sockets {
+		sockets = m.Sys.Sockets
+	}
+	if sockets == 1 {
+		return 1
+	}
+	if aff == hw.AffinitySpread {
+		return float64(sockets)
+	}
+	// close across sockets: remote accesses throttle scaling (~80%).
+	return 1 + 0.8*float64(sockets-1)
+}
+
+// SteadyBandwidth returns the deterministic steady-state TRIAD bandwidth
+// for a working set of `elems` vector elements (working set = 24*elems
+// bytes) under the given affinity and socket count.
+func (m *Model) SteadyBandwidth(elems int, aff hw.Affinity, sockets int) units.Bandwidth {
+	if elems <= 0 {
+		return 0
+	}
+	p := m.ParamsFor(sockets)
+	sEff := m.effectiveSockets(aff, sockets)
+	scale := sEff / float64(clampSockets(sockets, m.Sys.Sockets))
+
+	w := float64(units.TriadBytes(elems))
+	l1 := float64(m.Sys.L1PerCore) * float64(m.Sys.Cores(sockets))
+	l2 := float64(m.Sys.L2PerCore) * float64(m.Sys.Cores(sockets))
+	l3 := float64(m.Sys.L3Total(sockets))
+
+	// Service rates of each level for this affinity (channel scaling only
+	// affects DRAM; cache bandwidth scales with engaged sockets/cores).
+	bL1 := float64(p.L1) * scale
+	bL2 := float64(p.L2) * scale
+	bL3 := float64(p.L3) * scale
+	bDRAM := m.pureDRAM(sockets) * scale
+
+	// Plateau per residency level; the DRAM region blends in residual L3
+	// hits, which is what pushes measured DRAM bandwidth past theoretical
+	// peak (Table VI's 105-116%). Plateaus are deliberately flat: the
+	// tuner's reported per-region maxima must land on the calibrated
+	// (published) values, so capacity-edge structure lives entirely in
+	// the DRAM blend and the region classification.
+	c := m.hitC[clampSockets(sockets, m.Sys.Sockets)]
+	var b float64
+	switch {
+	case w <= l1:
+		b = bL1
+	case w <= l2:
+		b = bL2
+	case w <= l3*0.9:
+		b = bL3
+	default:
+		h := math.Min(0.9, c*l3/w)
+		b = 1 / ((1-h)/bDRAM + h/bL3)
+	}
+	return units.Bandwidth(b)
+}
+
+func clampSockets(s, max int) int {
+	if s < 1 {
+		return 1
+	}
+	if s > max {
+		return max
+	}
+	return s
+}
+
+// Invocation simulates one TRIAD benchmark process invocation.
+type Invocation struct {
+	model   *Model
+	elems   int
+	aff     hw.Affinity
+	sockets int
+	rng     *xrand.Rand
+	steadyT float64
+	params  Params
+	iter    int
+}
+
+// NewInvocation creates the deterministic per-invocation state. Noise
+// streams are derived by hashing (seed, configuration, invocation) so
+// evaluation order never changes a sample.
+func (m *Model) NewInvocation(elems int, aff hw.Affinity, sockets, inv int, seed uint64) *Invocation {
+	p := m.ParamsFor(sockets)
+	rng := xrand.New(xrand.Mix(seed, 0x7421ad, uint64(elems), uint64(aff),
+		uint64(sockets), uint64(inv)))
+	steady := units.TriadBytes(elems) / float64(m.SteadyBandwidth(elems, aff, sockets))
+	steady *= rng.LogNormal(0, p.InvSigma)
+	return &Invocation{model: m, elems: elems, aff: aff, sockets: sockets,
+		rng: rng, steadyT: steady, params: p}
+}
+
+// SetupTime models process start plus first-touch allocation of the three
+// vectors at half DRAM speed.
+func (inv *Invocation) SetupTime() time.Duration {
+	const startup = 3 * time.Millisecond
+	bytes := units.TriadBytes(inv.elems)
+	bw := inv.model.pureDRAM(inv.sockets) * 0.5
+	return startup + time.Duration(bytes/bw*float64(time.Second))
+}
+
+// WarmupTime is one unmeasured pass (it also warms the cache state).
+func (inv *Invocation) WarmupTime() time.Duration { return inv.stepRaw() }
+
+// StepTime returns the next measured pass, at gettimeofday resolution.
+func (inv *Invocation) StepTime() time.Duration {
+	return vclock.QuantizeMicro(inv.stepRaw())
+}
+
+func (inv *Invocation) stepRaw() time.Duration {
+	// Short warm-up: the first pass faults pages and populates caches;
+	// the unmeasured Warmup call absorbs most of it.
+	ramp := 1 - 0.08*math.Exp(-float64(inv.iter+1)/1.2)
+	inv.iter++
+	t := inv.steadyT / ramp
+	t *= inv.rng.LogNormal(0, inv.params.IterSigma)
+	if inv.rng.Bernoulli(inv.params.SpikeProb) {
+		t *= 1 + inv.rng.Gamma(2, inv.params.SpikeScale/2)
+	}
+	// Parallel-region barrier with a persistent spinning team. Small
+	// enough that the L1 sweep points stay above the L2 plateau, yet it
+	// still dominates sub-L1 working sets (which is why the paper only
+	// reports L3 and DRAM).
+	const overhead = 3e-7
+	d := time.Duration((t + overhead) * float64(time.Second))
+	if d < time.Microsecond {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// Work returns the bytes moved by one pass.
+func (inv *Invocation) Work() float64 { return units.TriadBytes(inv.elems) }
+
+// streamCalibrations pins Table VI: DRAM and L3 peaks per system for
+// single- and dual-socket configurations.
+var streamCalibrations = map[string]map[int]Params{
+	"2650v4": {
+		1: {DRAM: units.GBps(40.42), L3: units.GBps(256.07),
+			IterSigma: 0.012, InvSigma: 0.005, SpikeProb: 0.006, SpikeScale: 0.10},
+		2: {DRAM: units.GBps(80.65), L3: units.GBps(452.05),
+			IterSigma: 0.014, InvSigma: 0.006, SpikeProb: 0.006, SpikeScale: 0.10},
+	},
+	"2695v4": {
+		1: {DRAM: units.GBps(43.29), L3: units.GBps(371.41),
+			IterSigma: 0.020, InvSigma: 0.008, SpikeProb: 0.010, SpikeScale: 0.15},
+		2: {DRAM: units.GBps(76.32), L3: units.GBps(661.68),
+			IterSigma: 0.022, InvSigma: 0.009, SpikeProb: 0.010, SpikeScale: 0.15},
+	},
+	"Gold 6132": {
+		1: {DRAM: units.GBps(68.32), L3: units.GBps(422.87),
+			IterSigma: 0.013, InvSigma: 0.005, SpikeProb: 0.006, SpikeScale: 0.10},
+		2: {DRAM: units.GBps(132.18), L3: units.GBps(814.82),
+			IterSigma: 0.015, InvSigma: 0.006, SpikeProb: 0.006, SpikeScale: 0.10},
+	},
+	"Gold 6148": {
+		1: {DRAM: units.GBps(74.16), L3: units.GBps(547.11),
+			IterSigma: 0.013, InvSigma: 0.005, SpikeProb: 0.006, SpikeScale: 0.10},
+		2: {DRAM: units.GBps(139.80), L3: units.GBps(1000.10),
+			IterSigma: 0.015, InvSigma: 0.006, SpikeProb: 0.006, SpikeScale: 0.10},
+	},
+}
+
+// genericStreamCalibration gives uncalibrated systems plausible STREAM
+// efficiencies: DRAM at ~108% of theoretical (the L3-assist effect the
+// paper measures) and L3 at ~6.5x a socket's DRAM channel bandwidth.
+func genericStreamCalibration(sys hw.System) map[int]Params {
+	out := make(map[int]Params, sys.Sockets)
+	for s := 1; s <= sys.Sockets; s++ {
+		bt := float64(sys.TheoreticalBandwidth(s))
+		out[s] = Params{
+			DRAM:      units.Bandwidth(bt * 1.08),
+			L3:        units.Bandwidth(bt * 6.5),
+			IterSigma: 0.013, InvSigma: 0.005,
+			SpikeProb: 0.006, SpikeScale: 0.10,
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package simstream
+
+import (
+	"math"
+	"testing"
+
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+)
+
+// regionPeak scans the canonical sweep for the best steady bandwidth in a
+// residency region, mirroring what the tuner reports.
+func regionPeak(m *Model, sockets int, aff hw.Affinity, lo, hi float64) float64 {
+	best := 0.0
+	for _, w := range units.CanonicalTriadGrid() {
+		wf := float64(w)
+		if wf < lo || wf > hi {
+			continue
+		}
+		elems := int(w / 24)
+		if elems < 1 {
+			continue
+		}
+		if b := float64(m.SteadyBandwidth(elems, aff, sockets)); b > best {
+			best = b
+		}
+	}
+	return best / 1e9
+}
+
+func TestTableVICalibration(t *testing.T) {
+	// The steady curve's region maxima must reproduce the paper's Table
+	// VI within 1% for every system and socket configuration.
+	want := map[string]struct{ d1, d2, l1, l2 float64 }{
+		"2650v4":    {40.42, 80.65, 256.07, 452.05},
+		"2695v4":    {43.29, 76.32, 371.41, 661.68},
+		"Gold 6132": {68.32, 132.18, 422.87, 814.82},
+		"Gold 6148": {74.16, 139.80, 547.11, 1000.10},
+	}
+	for _, sys := range hw.IdunSystems() {
+		m := NewModel(sys)
+		w := want[sys.Name]
+		check := func(name string, got, wantV float64) {
+			if math.Abs(got-wantV) > wantV*0.01 {
+				t.Errorf("%s %s = %.2f GB/s, want %.2f", sys.Name, name, got, wantV)
+			}
+		}
+		l3s1 := float64(sys.L3Total(1))
+		l3s2 := float64(sys.L3Total(2))
+		l2s1 := float64(sys.L2PerCore) * float64(sys.Cores(1))
+		l2s2 := float64(sys.L2PerCore) * float64(sys.Cores(2))
+		check("DRAM S1", regionPeak(m, 1, hw.AffinityClose, 4*l3s1, math.Inf(1)), w.d1)
+		check("DRAM S2", regionPeak(m, 2, hw.AffinitySpread, 4*l3s2, math.Inf(1)), w.d2)
+		check("L3 S1", regionPeak(m, 1, hw.AffinityClose, l2s1*1.0001, 0.9*l3s1), w.l1)
+		check("L3 S2", regionPeak(m, 2, hw.AffinitySpread, l2s2*1.0001, 0.9*l3s2), w.l2)
+	}
+}
+
+func TestDRAMExceedsTheoretical(t *testing.T) {
+	// The paper's observation: measured DRAM bandwidth beats Eq. 11's
+	// peak because of residual L3 hits.
+	for _, sys := range hw.IdunSystems() {
+		m := NewModel(sys)
+		l3 := float64(sys.L3Total(1))
+		peak := regionPeak(m, 1, hw.AffinityClose, 4*l3, math.Inf(1))
+		if peak <= sys.TheoreticalBandwidth(1).GBps() {
+			t.Errorf("%s: DRAM peak %.2f not above theoretical %.2f",
+				sys.Name, peak, sys.TheoreticalBandwidth(1).GBps())
+		}
+	}
+}
+
+func TestBandwidthMonotoneDecreasingInDRAMRegion(t *testing.T) {
+	// Past the L3-assist knee, bandwidth must decay toward the pure DRAM
+	// rate as the working set grows.
+	m := NewModel(hw.IdunE52650v4)
+	l3 := float64(hw.IdunE52650v4.L3Total(1))
+	prev := math.Inf(1)
+	for _, w := range units.CanonicalTriadGrid() {
+		if float64(w) < 4*l3 {
+			continue
+		}
+		b := float64(m.SteadyBandwidth(int(w/24), hw.AffinityClose, 1))
+		if b > prev+1 {
+			t.Fatalf("DRAM-region bandwidth rose at W=%v", w)
+		}
+		prev = b
+	}
+}
+
+func TestCacheHierarchyOrdering(t *testing.T) {
+	// L1 > L2 > L3 > DRAM plateaus, for every system.
+	for _, sys := range hw.IdunSystems() {
+		m := NewModel(sys)
+		cores := float64(sys.Cores(1))
+		l1 := float64(sys.L1PerCore) * cores
+		l2 := float64(sys.L2PerCore) * cores
+		l3 := float64(sys.L3Total(1))
+		bL1 := float64(m.SteadyBandwidth(int(l1*0.5/24), hw.AffinityClose, 1))
+		bL2 := float64(m.SteadyBandwidth(int((l1+l2)/2/24), hw.AffinityClose, 1))
+		bL3 := float64(m.SteadyBandwidth(int((l2*1.05)/24), hw.AffinityClose, 1))
+		bDRAM := float64(m.SteadyBandwidth(int(8*l3/24), hw.AffinityClose, 1))
+		if !(bL1 > bL2 && bL2 > bL3 && bL3 > bDRAM) {
+			t.Errorf("%s: hierarchy not ordered: L1 %.0f L2 %.0f L3 %.0f DRAM %.0f",
+				sys.Name, bL1/1e9, bL2/1e9, bL3/1e9, bDRAM/1e9)
+		}
+	}
+}
+
+func TestSpreadDoublesChannels(t *testing.T) {
+	// Dual-socket spread runs see roughly twice the single-socket DRAM
+	// bandwidth (the paper's §III-B affinity rationale).
+	m := NewModel(hw.IdunGold6148)
+	l3s2 := float64(hw.IdunGold6148.L3Total(2))
+	elems := int(8 * l3s2 / 24)
+	b1 := float64(m.SteadyBandwidth(elems, hw.AffinityClose, 1))
+	b2 := float64(m.SteadyBandwidth(elems, hw.AffinitySpread, 2))
+	ratio := b2 / b1
+	if ratio < 1.7 || ratio > 2.2 {
+		t.Fatalf("spread S2/S1 DRAM ratio %.2f, want ~2", ratio)
+	}
+}
+
+func TestCloseOnTwoSocketsPenalised(t *testing.T) {
+	// close across sockets = partially remote accesses: better than one
+	// socket, worse than spread.
+	m := NewModel(hw.IdunE52650v4)
+	l3s2 := float64(hw.IdunE52650v4.L3Total(2))
+	elems := int(8 * l3s2 / 24)
+	spread := float64(m.SteadyBandwidth(elems, hw.AffinitySpread, 2))
+	close2 := float64(m.SteadyBandwidth(elems, hw.AffinityClose, 2))
+	single := float64(m.SteadyBandwidth(elems, hw.AffinityClose, 1))
+	if !(close2 < spread && close2 > single) {
+		t.Fatalf("close-on-2 should sit between: single %.1f, close2 %.1f, spread %.1f",
+			single/1e9, close2/1e9, spread/1e9)
+	}
+}
+
+func TestInvocationDeterminismStream(t *testing.T) {
+	m := NewModel(hw.IdunGold6132)
+	a := m.NewInvocation(1<<20, hw.AffinitySpread, 2, 4, 99)
+	b := m.NewInvocation(1<<20, hw.AffinitySpread, 2, 4, 99)
+	if a.SetupTime() != b.SetupTime() {
+		t.Fatal("setup must replay")
+	}
+	a.WarmupTime()
+	b.WarmupTime()
+	for i := 0; i < 30; i++ {
+		if a.StepTime() != b.StepTime() {
+			t.Fatalf("step %d diverged", i)
+		}
+	}
+}
+
+func TestStepMetricNearSteady(t *testing.T) {
+	// Long-run mean of measured bandwidth must approach the steady curve
+	// (within noise and the small warm-up deficit).
+	m := NewModel(hw.IdunE52650v4)
+	elems := 1 << 22 // ~100 MB: DRAM resident
+	inv := m.NewInvocation(elems, hw.AffinityClose, 1, 0, 1234)
+	inv.WarmupTime()
+	var sum float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		dt := inv.StepTime().Seconds()
+		sum += units.TriadBytes(elems) / dt
+	}
+	mean := sum / n
+	steady := float64(m.SteadyBandwidth(elems, hw.AffinityClose, 1))
+	if math.Abs(mean-steady)/steady > 0.03 {
+		t.Fatalf("measured mean %.2f GB/s vs steady %.2f GB/s", mean/1e9, steady/1e9)
+	}
+}
+
+func TestGenericStreamCalibration(t *testing.T) {
+	sys := hw.IdunGold6148
+	sys.Name = "uncalibrated-stream"
+	m := NewModel(sys)
+	p := m.ParamsFor(1)
+	bt := float64(sys.TheoreticalBandwidth(1))
+	if float64(p.DRAM) < bt || float64(p.DRAM) > bt*1.2 {
+		t.Fatalf("generic DRAM calibration %.1f vs theoretical %.1f", float64(p.DRAM)/1e9, bt/1e9)
+	}
+	if p.L3 <= p.DRAM {
+		t.Fatal("generic L3 must exceed DRAM")
+	}
+}
+
+func TestZeroElementsBandwidth(t *testing.T) {
+	m := NewModel(hw.IdunE52650v4)
+	if m.SteadyBandwidth(0, hw.AffinityClose, 1) != 0 {
+		t.Fatal("zero elements must give zero bandwidth")
+	}
+}

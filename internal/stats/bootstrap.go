@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"rooftune/internal/xrand"
+)
+
+// BootstrapCI computes a percentile bootstrap confidence interval for the
+// mean of xs with the given number of resamples. The paper (§III-C3)
+// discusses bootstrapping as the principled alternative for non-normal
+// runtime distributions but rejects it for online use because each update
+// would resample the whole history; we implement it offline both to
+// quantify that cost (BenchmarkAblationBootstrap) and to validate the
+// normal-theory intervals in tests.
+//
+// The generator is supplied by the caller so results are reproducible.
+func BootstrapCI(xs []float64, level float64, resamples int, rng *xrand.Rand) Interval {
+	iv := Interval{Level: level}
+	n := len(xs)
+	if n == 0 {
+		return iv
+	}
+	mean, _ := TwoPassMeanVariance(xs)
+	iv.Mean = mean
+	if n == 1 || resamples < 2 {
+		iv.Lower, iv.Upper = mean, mean
+		return iv
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	alpha := 1 - level
+	iv.Lower = Quantile(means, alpha/2)
+	iv.Upper = Quantile(means, 1-alpha/2)
+	return iv
+}
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test (Wilcoxon
+// rank-sum) on samples a and b, returning the U statistic for a and an
+// approximate two-sided p-value from the normal approximation with tie
+// correction. This is one of the nonparametric comparisons the paper's
+// future-work section proposes for deciding whether one configuration
+// outperforms another without a normality assumption.
+func MannWhitneyU(a, b []float64) (u float64, pValue float64) {
+	nA, nB := len(a), len(b)
+	if nA == 0 || nB == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, nA+nB)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	// Assign mid-ranks, accumulating the tie correction term.
+	ranks := make([]float64, len(all))
+	var tieCorr float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		avg := float64(i+1+j) / 2 // ranks are 1-based; ties share the average
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieCorr += t*t*t - t
+		i = j
+	}
+	var rA float64
+	for i, o := range all {
+		if o.fromA {
+			rA += ranks[i]
+		}
+	}
+	fA, fB := float64(nA), float64(nB)
+	u = rA - fA*(fA+1)/2
+	muU := fA * fB / 2
+	n := fA + fB
+	sigma2 := fA * fB / 12 * ((n + 1) - tieCorr/(n*(n-1)))
+	if sigma2 <= 0 {
+		return u, 1 // all observations identical: no evidence of difference
+	}
+	sigma := math.Sqrt(sigma2)
+	// Continuity correction of 0.5 toward the mean.
+	z := u - muU
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= sigma
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}

@@ -1,0 +1,343 @@
+// Package rooftune builds empirical Roofline models by autotuning the
+// benchmarks that measure them, reproducing Tørring, Meyer and Elster,
+// "Autotuning Benchmarking Techniques: A Roofline Model Case Study"
+// (IPDPS workshops, 2021; arXiv:2103.08716).
+//
+// Two engines are available behind the same API:
+//
+//   - Simulated: calibrated performance models of the paper's four Intel
+//     Xeon systems (and any user-defined hw.System). Deterministic given
+//     a seed; this is what reproduces the paper's tables and figures.
+//   - Native: real pure-Go DGEMM and STREAM TRIAD kernels measured with
+//     the wall clock, producing a genuine roofline of the host.
+//
+// The returned Result contains the tuned peak compute and bandwidth
+// values, the winning configurations, and a renderable roofline model:
+//
+//	res, err := rooftune.Simulated("Gold 6148", nil)
+//	...
+//	fmt.Println(res.Roofline.RenderASCII(72, 20))
+package rooftune
+
+import (
+	"fmt"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/roofline"
+	"rooftune/internal/units"
+)
+
+// Options configures a roofline build. The zero value (or nil) means:
+// paper defaults for simulated builds, quick defaults for native builds.
+type Options struct {
+	// Seed drives the simulated engines' noise streams (default 1021).
+	Seed uint64
+	// Budget is the evaluation budget; defaults to Table I with the
+	// paper's best technique (Confidence + Inner + Outer bounds).
+	Budget *bench.Budget
+	// Space is the DGEMM search space (default: the paper's union space
+	// for simulated builds, a laptop-scale space for native builds).
+	Space []core.Dims
+	// Threads is the native engines' parallelism (default GOMAXPROCS).
+	Threads int
+	// AssumedLLC is the native build's last-level-cache estimate used to
+	// split the TRIAD sweep into cache and DRAM regions (default 32 MiB).
+	AssumedLLC units.ByteSize
+	// TriadLo/TriadHi bound the TRIAD working-set sweep (default: the
+	// paper's 3 KiB .. 768 MiB for simulated builds; 3 KiB .. 256 MiB
+	// native).
+	TriadLo, TriadHi units.ByteSize
+}
+
+func (o *Options) withDefaults(native bool) Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Seed == 0 {
+		out.Seed = 1021
+	}
+	if out.Budget == nil {
+		b := bench.DefaultBudget().WithFlags(true, true, true)
+		if native {
+			b.Invocations = 3
+			b.MaxIterations = 30
+			b.MaxTime = 2 * time.Second
+		}
+		out.Budget = &b
+	}
+	if out.Space == nil {
+		if native {
+			out.Space = NativeQuickSpace()
+		} else {
+			out.Space = core.UnionDGEMMSpace()
+		}
+	}
+	if out.AssumedLLC == 0 {
+		out.AssumedLLC = 32 * units.MiB
+	}
+	if out.TriadLo == 0 {
+		out.TriadLo = 3 * units.KiB
+	}
+	if out.TriadHi == 0 {
+		if native {
+			out.TriadHi = 256 * units.MiB
+		} else {
+			out.TriadHi = 768 * units.MiB
+		}
+	}
+	return out
+}
+
+// NativeQuickSpace is a DGEMM search space sized for interactive native
+// runs: large enough to exercise cache blocking, small enough to finish
+// in seconds on a laptop.
+func NativeQuickSpace() []core.Dims {
+	var out []core.Dims
+	for _, n := range []int{256, 512, 768, 1024} {
+		for _, m := range []int{256, 512, 1024} {
+			for _, k := range []int{64, 128, 256} {
+				out = append(out, core.Dims{N: n, M: m, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// ComputePoint is a tuned compute ceiling.
+type ComputePoint struct {
+	Sockets int
+	Dims    core.Dims
+	Flops   units.Flops
+	// Theoretical is Eq. 9's peak for the configuration (zero for native
+	// builds, where no spec is assumed).
+	Theoretical units.Flops
+}
+
+// MemoryPoint is a tuned bandwidth ceiling.
+type MemoryPoint struct {
+	Sockets   int
+	Region    string // "DRAM", "L3", ... ("cache"/"DRAM" for native)
+	Elements  int    // TRIAD vector length at the peak
+	Bandwidth units.Bandwidth
+	// Theoretical is Eq. 11's peak for DRAM regions (zero otherwise).
+	Theoretical units.Bandwidth
+}
+
+// Result is a complete tuned roofline characterisation.
+type Result struct {
+	SystemName string
+	Engine     string
+	Compute    []ComputePoint
+	Memory     []MemoryPoint
+	Roofline   *roofline.Model
+	// SearchTime is the total tuning cost: virtual seconds for simulated
+	// engines, wall-clock for native.
+	SearchTime time.Duration
+}
+
+// Simulated autotunes DGEMM and TRIAD on the named system's calibrated
+// models and assembles the roofline. Known names: "2650v4", "2695v4",
+// "Gold 6132", "Gold 6148", "Silver 4110", plus anything registered via
+// hw.Register.
+func Simulated(systemName string, opt *Options) (*Result, error) {
+	sys, err := hw.Get(systemName)
+	if err != nil {
+		return nil, err
+	}
+	return SimulatedSystem(sys, opt)
+}
+
+// SimulatedSystem is Simulated for an explicit system description.
+func SimulatedSystem(sys hw.System, opt *Options) (*Result, error) {
+	o := opt.withDefaults(false)
+	eng := bench.NewSimEngine(sys, o.Seed)
+	res := &Result{SystemName: sys.Name, Engine: eng.Name()}
+
+	socketConfigs := []int{1}
+	if sys.Sockets > 1 {
+		socketConfigs = append(socketConfigs, sys.Sockets)
+	}
+	for _, sockets := range socketConfigs {
+		cases := make([]bench.Case, len(o.Space))
+		for i, d := range o.Space {
+			cases[i] = eng.DGEMMCase(d.N, d.M, d.K, sockets)
+		}
+		tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
+		r, err := tuner.Run(cases)
+		if err != nil {
+			return nil, fmt.Errorf("rooftune: DGEMM tuning (%d sockets): %w", sockets, err)
+		}
+		var d core.Dims
+		fmt.Sscanf(r.Best.Key, "dgemm/%d/%dx%dx%d", &sockets, &d.N, &d.M, &d.K)
+		res.Compute = append(res.Compute, ComputePoint{
+			Sockets:     sockets,
+			Dims:        d,
+			Flops:       units.Flops(r.BestValue()),
+			Theoretical: sys.TheoreticalFlops(sockets),
+		})
+	}
+
+	grid := units.TriadGridElements(units.WorkingSetGridDense(o.TriadLo, o.TriadHi, 4))
+	for _, sockets := range socketConfigs {
+		aff := hw.AffinityClose
+		if sockets > 1 {
+			aff = hw.AffinitySpread
+		}
+		for _, region := range []struct {
+			name     string
+			min, max float64 // working-set bounds as multiples of L3
+		}{
+			{"L3", 0, 0.9},
+			{"DRAM", 4, 1e18},
+		} {
+			l3 := float64(sys.L3Total(sockets))
+			l2 := float64(sys.L2PerCore) * float64(sys.Cores(sockets))
+			var cases []bench.Case
+			var elems []int
+			for _, n := range grid {
+				w := units.TriadBytes(n)
+				if w <= l2 || w < region.min*l3 || w > region.max*l3 {
+					continue
+				}
+				cases = append(cases, eng.TriadCase(n, aff, sockets))
+				elems = append(elems, n)
+			}
+			if len(cases) == 0 {
+				continue
+			}
+			tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
+			r, err := tuner.Run(cases)
+			if err != nil {
+				return nil, fmt.Errorf("rooftune: TRIAD tuning (%s, %d sockets): %w", region.name, sockets, err)
+			}
+			mp := MemoryPoint{
+				Sockets:   sockets,
+				Region:    region.name,
+				Bandwidth: units.Bandwidth(r.BestValue()),
+			}
+			for i, c := range cases {
+				if c.Key() == r.Best.Key {
+					mp.Elements = elems[i]
+				}
+			}
+			if region.name == "DRAM" {
+				mp.Theoretical = sys.TheoreticalBandwidth(sockets)
+			}
+			res.Memory = append(res.Memory, mp)
+		}
+	}
+	res.SearchTime = eng.Clock.Now()
+	res.Roofline = assembleRoofline(res)
+	return res, nil
+}
+
+// Native autotunes the real Go kernels on the host machine.
+func Native(opt *Options) (*Result, error) {
+	o := opt.withDefaults(true)
+	eng := bench.NewNativeEngine(o.Threads)
+	res := &Result{SystemName: "host", Engine: eng.Name()}
+
+	cases := make([]bench.Case, len(o.Space))
+	for i, d := range o.Space {
+		cases[i] = eng.DGEMMCase(d.N, d.M, d.K)
+	}
+	tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
+	r, err := tuner.Run(cases)
+	if err != nil {
+		return nil, fmt.Errorf("rooftune: native DGEMM tuning: %w", err)
+	}
+	var d core.Dims
+	fmt.Sscanf(r.Best.Key, "native-dgemm/%dx%dx%d", &d.N, &d.M, &d.K)
+	res.Compute = append(res.Compute, ComputePoint{
+		Sockets: 1, Dims: d, Flops: units.Flops(r.BestValue()),
+	})
+
+	grid := units.TriadGridElements(units.WorkingSetGridDense(o.TriadLo, o.TriadHi, 2))
+	for _, region := range []struct {
+		name     string
+		min, max units.ByteSize
+	}{
+		{"cache", 0, o.AssumedLLC / 2},
+		{"DRAM", o.AssumedLLC * 4, 1 << 62},
+	} {
+		var cases []bench.Case
+		var elems []int
+		for _, n := range grid {
+			w := units.ByteSize(units.TriadBytes(n))
+			if w < region.min || w > region.max {
+				continue
+			}
+			cases = append(cases, eng.TriadCase(n))
+			elems = append(elems, n)
+		}
+		if len(cases) == 0 {
+			continue
+		}
+		tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
+		r, err := tuner.Run(cases)
+		if err != nil {
+			return nil, fmt.Errorf("rooftune: native TRIAD tuning (%s): %w", region.name, err)
+		}
+		mp := MemoryPoint{
+			Sockets: 1, Region: region.name,
+			Bandwidth: units.Bandwidth(r.BestValue()),
+		}
+		for i, c := range cases {
+			if c.Key() == r.Best.Key {
+				mp.Elements = elems[i]
+			}
+		}
+		res.Memory = append(res.Memory, mp)
+	}
+	res.SearchTime = eng.Clock.Now()
+	res.Roofline = assembleRoofline(res)
+	return res, nil
+}
+
+func assembleRoofline(res *Result) *roofline.Model {
+	m := &roofline.Model{Title: fmt.Sprintf("Roofline: %s (%s)", res.SystemName, res.Engine)}
+	for _, c := range res.Compute {
+		name := fmt.Sprintf("DGEMM peak, %d socket(s)", c.Sockets)
+		m.AddCompute(name, c.Flops)
+	}
+	for _, b := range res.Memory {
+		name := fmt.Sprintf("%s, %d socket(s)", b.Region, b.Sockets)
+		m.AddMemory(name, b.Bandwidth)
+	}
+	m.AddPoint("TRIAD", units.TriadIntensity, unitsAttainableTriad(res))
+	return m
+}
+
+func unitsAttainableTriad(res *Result) units.Flops {
+	var best units.Bandwidth
+	for _, b := range res.Memory {
+		if b.Region == "DRAM" && b.Bandwidth > best {
+			best = b.Bandwidth
+		}
+	}
+	return units.Flops(float64(best) * float64(units.TriadIntensity))
+}
+
+// Summary renders a human-readable result overview.
+func (r *Result) Summary() string {
+	out := fmt.Sprintf("%s (engine %s), search time %.2fs\n", r.SystemName, r.Engine, r.SearchTime.Seconds())
+	for _, c := range r.Compute {
+		out += fmt.Sprintf("  compute %d socket(s): %v at n,m,k=%v", c.Sockets, c.Flops, c.Dims)
+		if c.Theoretical > 0 {
+			out += fmt.Sprintf(" (%s of theoretical %v)", units.Percent(float64(c.Flops), float64(c.Theoretical)), c.Theoretical)
+		}
+		out += "\n"
+	}
+	for _, b := range r.Memory {
+		out += fmt.Sprintf("  %-5s %d socket(s): %v at N=%d", b.Region, b.Sockets, b.Bandwidth, b.Elements)
+		if b.Theoretical > 0 {
+			out += fmt.Sprintf(" (%s of theoretical %v)", units.Percent(float64(b.Bandwidth), float64(b.Theoretical)), b.Theoretical)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package rooftune
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+)
+
+func TestSimulatedGold6148(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning run")
+	}
+	res, err := Simulated("Gold 6148", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SystemName != "Gold 6148" || !strings.Contains(res.Engine, "sim") {
+		t.Fatalf("result header: %+v", res)
+	}
+	if len(res.Compute) != 2 {
+		t.Fatalf("compute points: %d", len(res.Compute))
+	}
+	// Single-socket peak must match Table IV within 2%.
+	c1 := res.Compute[0]
+	if c1.Sockets != 1 {
+		t.Fatalf("first compute point sockets = %d", c1.Sockets)
+	}
+	if math.Abs(c1.Flops.GFLOPS()-1422.24)/1422.24 > 0.02 {
+		t.Fatalf("S1 peak = %v", c1.Flops)
+	}
+	if c1.Dims != (core.Dims{N: 4000, M: 512, K: 128}) {
+		t.Fatalf("S1 dims = %v", c1.Dims)
+	}
+	if c1.Theoretical.GFLOPS() != 1536 {
+		t.Fatalf("S1 theoretical = %v", c1.Theoretical)
+	}
+	// Memory points: both regions for both socket configs.
+	regions := map[string]int{}
+	for _, m := range res.Memory {
+		regions[m.Region]++
+		if m.Bandwidth <= 0 || m.Elements <= 0 {
+			t.Fatalf("memory point %+v", m)
+		}
+	}
+	if regions["DRAM"] != 2 || regions["L3"] != 2 {
+		t.Fatalf("memory regions: %v", regions)
+	}
+	if res.Roofline == nil || res.Roofline.Validate() != nil {
+		t.Fatal("roofline must validate")
+	}
+	if res.SearchTime <= 0 {
+		t.Fatal("search time must be positive (virtual)")
+	}
+	summary := res.Summary()
+	for _, frag := range []string{"Gold 6148", "compute 1 socket", "DRAM"} {
+		if !strings.Contains(summary, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, summary)
+		}
+	}
+}
+
+func TestSimulatedUnknownSystem(t *testing.T) {
+	if _, err := Simulated("warp-drive", nil); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestSimulatedCustomSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tuning run")
+	}
+	sys := hw.System{
+		Name: "tiny", FreqGHz: 3, CoresPerSocket: 4, Vector: hw.AVX2,
+		FMAUnits: 2, Sockets: 1, DRAMFreqMHz: 3200, DRAMChannels: 2,
+		BytesPerCycle: 8, L3PerSocket: 8 * units.MiB,
+		L2PerCore: 256 * units.KiB, L1PerCore: 32 * units.KiB,
+	}
+	// Small space for speed.
+	opt := &Options{Space: []core.Dims{
+		{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128},
+		{N: 2048, M: 2048, K: 128},
+	}}
+	res, err := SimulatedSystem(sys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compute) != 1 { // single socket system
+		t.Fatalf("compute points: %d", len(res.Compute))
+	}
+	if res.Compute[0].Flops <= 0 {
+		t.Fatal("tuned peak must be positive")
+	}
+}
+
+func TestNativeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real kernels")
+	}
+	budget := bench.DefaultBudget().WithFlags(true, true, true)
+	budget.Invocations = 1
+	budget.MaxIterations = 2
+	budget.MaxTime = time.Second
+	res, err := Native(&Options{
+		Budget:  &budget,
+		Threads: 2,
+		Space: []core.Dims{
+			{N: 64, M: 64, K: 64}, {N: 128, M: 128, K: 64},
+		},
+		TriadLo:    24 * units.KiB,
+		TriadHi:    3 * units.MiB,
+		AssumedLLC: 256 * units.KiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compute) != 1 || res.Compute[0].Flops <= 0 {
+		t.Fatalf("native compute: %+v", res.Compute)
+	}
+	if len(res.Memory) == 0 {
+		t.Fatal("native memory points missing")
+	}
+	if res.Roofline.Validate() != nil {
+		t.Fatal("native roofline must validate")
+	}
+}
+
+func TestNativeQuickSpaceShape(t *testing.T) {
+	space := NativeQuickSpace()
+	if len(space) != 4*3*3 {
+		t.Fatalf("|space| = %d", len(space))
+	}
+	for _, d := range space {
+		if d.N > 1024 || d.M > 1024 || d.K > 256 {
+			t.Fatalf("native quick space too large: %v", d)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	d := o.withDefaults(false)
+	if d.Seed != 1021 || d.Budget == nil || len(d.Space) != 384 {
+		t.Fatalf("simulated defaults: %+v", d)
+	}
+	if !d.Budget.UseConfidence || !d.Budget.UseInnerBound || !d.Budget.UseOuterBound {
+		t.Fatal("default budget must be the paper's best technique")
+	}
+	n := o.withDefaults(true)
+	if n.Budget.Invocations != 3 || len(n.Space) != len(NativeQuickSpace()) {
+		t.Fatalf("native defaults: %+v", n.Budget)
+	}
+	if n.TriadHi != 256*units.MiB || d.TriadHi != 768*units.MiB {
+		t.Fatal("triad range defaults")
+	}
+}
