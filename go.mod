@@ -1,0 +1,3 @@
+module rooftune
+
+go 1.24

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"time"
+
+	"rooftune/internal/hw"
 )
 
 // Metric identifies what a benchmark maximises.
@@ -24,6 +26,44 @@ func (m Metric) Unit() string {
 // Scale converts a metric value in base units to its reporting unit.
 func (m Metric) Scale(v float64) float64 { return v / 1e9 }
 
+// Config is the typed identity of a benchmark configuration. The
+// evaluator copies it from Case onto Outcome, so search winners are
+// recovered as structured values instead of being re-parsed out of the
+// string Key — key-format drift can no longer silently zero a result.
+// It is a closed sum: DGEMMConfig and TriadConfig.
+type Config interface {
+	benchConfig()
+}
+
+// DGEMMConfig identifies a DGEMM configuration: the matrix dimensions
+// plus the core-allocation policy (sockets for the simulated engines,
+// worker threads for the native one).
+type DGEMMConfig struct {
+	N, M, K int
+	// Sockets is the simulated socket count (1 for native builds, where
+	// placement is not controllable from pure Go).
+	Sockets int
+	// Threads is the native engine's parallelism (0 for simulated builds).
+	Threads int
+}
+
+func (DGEMMConfig) benchConfig() {}
+
+// TriadConfig identifies a TRIAD configuration: the vector length plus
+// the thread-placement policy.
+type TriadConfig struct {
+	// Elements is the TRIAD vector length N.
+	Elements int
+	// Affinity is the simulated thread-placement policy.
+	Affinity hw.Affinity
+	// Sockets is the simulated socket count (1 for native builds).
+	Sockets int
+	// Threads is the native engine's parallelism (0 for simulated builds).
+	Threads int
+}
+
+func (TriadConfig) benchConfig() {}
+
 // Case is one benchmark configuration: a point in the autotuner's search
 // space bound to an engine that can execute (or simulate) it. The
 // evaluator repeatedly creates invocations of it, mirroring the paper's
@@ -31,6 +71,9 @@ func (m Metric) Scale(v float64) float64 { return v / 1e9 }
 type Case interface {
 	// Key uniquely identifies the configuration within a search space.
 	Key() string
+	// Config returns the configuration's typed identity, carried onto the
+	// evaluation Outcome.
+	Config() Config
 	// Describe returns a human-readable parameter description, e.g.
 	// "n=1000 m=4096 k=128".
 	Describe() string

@@ -52,6 +52,10 @@ func (c *nativeDGEMMCase) Key() string {
 	return fmt.Sprintf("native-dgemm/%dx%dx%d", c.n, c.m, c.k)
 }
 
+func (c *nativeDGEMMCase) Config() Config {
+	return DGEMMConfig{N: c.n, M: c.m, K: c.k, Sockets: 1, Threads: c.engine.Threads}
+}
+
 func (c *nativeDGEMMCase) Describe() string {
 	return fmt.Sprintf("n=%d m=%d k=%d threads=%d", c.n, c.m, c.k, c.engine.Threads)
 }
@@ -103,6 +107,10 @@ type nativeTriadCase struct {
 
 func (c *nativeTriadCase) Key() string {
 	return fmt.Sprintf("native-triad/%d", c.elems)
+}
+
+func (c *nativeTriadCase) Config() Config {
+	return TriadConfig{Elements: c.elems, Sockets: 1, Threads: c.engine.Threads}
 }
 
 func (c *nativeTriadCase) Describe() string {

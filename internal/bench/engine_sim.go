@@ -35,8 +35,13 @@ func NewSimEngine(sys hw.System, seed uint64) *SimEngine {
 	}
 }
 
+// SimEngineName is the report name of a simulated engine for the system.
+// It is the single owner of the "sim:" format; callers that never hold an
+// engine (the sweep planner builds one per sweep) use it directly.
+func SimEngineName(sys hw.System) string { return "sim:" + sys.Name }
+
 // Name identifies the engine in reports.
-func (e *SimEngine) Name() string { return "sim:" + e.Sys.Name }
+func (e *SimEngine) Name() string { return SimEngineName(e.Sys) }
 
 // DGEMMCase returns the benchmark case for one matrix-dimension
 // configuration on the given socket count.
@@ -57,6 +62,10 @@ type simDGEMMCase struct {
 
 func (c *simDGEMMCase) Key() string {
 	return fmt.Sprintf("dgemm/%d/%dx%dx%d", c.sockets, c.n, c.m, c.k)
+}
+
+func (c *simDGEMMCase) Config() Config {
+	return DGEMMConfig{N: c.n, M: c.m, K: c.k, Sockets: c.sockets}
 }
 
 func (c *simDGEMMCase) Describe() string {
@@ -99,6 +108,10 @@ type simTriadCase struct {
 
 func (c *simTriadCase) Key() string {
 	return fmt.Sprintf("triad/%d/%s/%d", c.sockets, c.aff, c.elems)
+}
+
+func (c *simTriadCase) Config() Config {
+	return TriadConfig{Elements: c.elems, Affinity: c.aff, Sockets: c.sockets}
 }
 
 func (c *simTriadCase) Describe() string {

@@ -27,6 +27,9 @@ type Outcome struct {
 	Key      string
 	Describe string
 	Metric   Metric
+	// Config is the evaluated configuration's typed identity, copied from
+	// the Case so winners are recovered without parsing Key.
+	Config Config
 
 	// Mean is the grand mean over invocation means — the configuration's
 	// reported performance.
@@ -77,7 +80,7 @@ func NewEvaluator(clock vclock.Clock, budget Budget) *Evaluator {
 // includes setup and warm-up cost — everything the search pays for.
 func (e *Evaluator) Evaluate(c Case, best float64) (*Outcome, error) {
 	b := e.Budget.normalized()
-	out := &Outcome{Key: c.Key(), Describe: c.Describe(), Metric: c.Metric()}
+	out := &Outcome{Key: c.Key(), Config: c.Config(), Describe: c.Describe(), Metric: c.Metric()}
 	watch := vclock.NewStopwatch(e.Clock)
 
 	var (

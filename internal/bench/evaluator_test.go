@@ -22,6 +22,7 @@ type scriptedCase struct {
 }
 
 func (s *scriptedCase) Key() string      { return s.key }
+func (s *scriptedCase) Config() Config   { return nil }
 func (s *scriptedCase) Describe() string { return "scripted " + s.key }
 func (s *scriptedCase) Metric() Metric   { return MetricFlops }
 
@@ -410,6 +411,7 @@ func TestEvaluateErrorPropagation(t *testing.T) {
 type failingCase struct{}
 
 func (f *failingCase) Key() string      { return "fail" }
+func (f *failingCase) Config() Config   { return nil }
 func (f *failingCase) Describe() string { return "fail" }
 func (f *failingCase) Metric() Metric   { return MetricFlops }
 func (f *failingCase) NewInvocation(int) (Instance, error) {

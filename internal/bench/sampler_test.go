@@ -107,6 +107,7 @@ type rampCase struct {
 }
 
 func (r *rampCase) Key() string      { return "ramp" }
+func (r *rampCase) Config() Config   { return nil }
 func (r *rampCase) Describe() string { return "ramp" }
 func (r *rampCase) Metric() Metric   { return MetricFlops }
 func (r *rampCase) NewInvocation(inv int) (Instance, error) {

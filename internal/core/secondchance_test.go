@@ -19,6 +19,7 @@ type bloomerCase struct {
 }
 
 func (c *bloomerCase) Key() string          { return "bloomer" }
+func (c *bloomerCase) Config() bench.Config { return nil }
 func (c *bloomerCase) Describe() string     { return "bloomer" }
 func (c *bloomerCase) Metric() bench.Metric { return bench.MetricFlops }
 

@@ -9,12 +9,19 @@ package core
 import (
 	"fmt"
 
+	"rooftune/internal/bench"
 	"rooftune/internal/units"
 )
 
 // Dims is one DGEMM configuration: C (n x m) <- A (n x k) * B (k x m).
 type Dims struct {
 	N, M, K int
+}
+
+// ConfigDims extracts the matrix dimensions of a typed DGEMM benchmark
+// configuration.
+func ConfigDims(cfg bench.DGEMMConfig) Dims {
+	return Dims{N: cfg.N, M: cfg.M, K: cfg.K}
 }
 
 // String formats the dimensions the way the paper's Table V does.

@@ -18,8 +18,9 @@ type valueCase struct {
 	cost  time.Duration
 }
 
-func (v *valueCase) Key() string      { return fmt.Sprintf("case-%d", v.id) }
-func (v *valueCase) Describe() string { return v.Key() }
+func (v *valueCase) Key() string          { return fmt.Sprintf("case-%d", v.id) }
+func (v *valueCase) Config() bench.Config { return nil }
+func (v *valueCase) Describe() string     { return v.Key() }
 func (v *valueCase) Metric() bench.Metric {
 	return bench.MetricFlops
 }

@@ -59,18 +59,19 @@ type DGEMMRun struct {
 	Total time.Duration
 }
 
-// BestDims parses the winning configuration of a sweep result back into
-// dimensions.
+// BestDims recovers the winning configuration of a sweep result from its
+// typed identity.
 func BestDims(res *core.Result) (core.Dims, error) {
 	var d core.Dims
 	if res == nil || res.Best == nil {
 		return d, fmt.Errorf("experiments: sweep has no best outcome")
 	}
-	var sockets int
-	if _, err := fmt.Sscanf(res.Best.Key, "dgemm/%d/%dx%dx%d", &sockets, &d.N, &d.M, &d.K); err != nil {
-		return d, fmt.Errorf("experiments: cannot parse best key %q: %v", res.Best.Key, err)
+	cfg, ok := res.Best.Config.(bench.DGEMMConfig)
+	if !ok {
+		return d, fmt.Errorf("experiments: best outcome %q carries %T, want DGEMM config",
+			res.Best.Key, res.Best.Config)
 	}
-	return d, nil
+	return core.ConfigDims(cfg), nil
 }
 
 // RunDGEMMTechnique runs one technique's full DGEMM search (single-socket
@@ -187,11 +188,7 @@ func (r *Runner) RunTriad(sys hw.System, budget bench.Budget) (*TriadRun, error)
 	run := &TriadRun{System: sys, Peaks: map[int]map[TriadRegion]*bench.Outcome{}}
 	space := core.TriadSpace()
 
-	socketConfigs := []int{1}
-	if sys.Sockets > 1 {
-		socketConfigs = append(socketConfigs, sys.Sockets)
-	}
-	for _, sockets := range socketConfigs {
+	for _, sockets := range sys.SocketConfigs() {
 		aff := hw.AffinityClose
 		if sockets > 1 {
 			aff = hw.AffinitySpread

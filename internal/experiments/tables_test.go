@@ -110,6 +110,12 @@ func TestBestDimsParsing(t *testing.T) {
 	if _, err := BestDims(&core.Result{}); err == nil {
 		t.Fatal("result without best must error")
 	}
+	// A key-only outcome (no typed config) must be a loud error, never
+	// silently-zero dims — the bug the typed identity removed.
+	keyOnly := &bench.Outcome{Key: "dgemm/1/1000x4096x128"}
+	if d, err := BestDims(&core.Result{Best: keyOnly}); err == nil {
+		t.Fatalf("config-less outcome returned dims %v, want error", d)
+	}
 }
 
 func TestFig2ContainsStopConditions(t *testing.T) {

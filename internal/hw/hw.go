@@ -133,6 +133,17 @@ func (s *System) Cores(sockets int) int {
 	return s.CoresPerSocket * s.clampSockets(sockets)
 }
 
+// SocketConfigs returns the socket counts the paper measures on this
+// system: a single socket always, plus the full machine when it has more.
+// Both the library sweeps and the experiment campaigns iterate this list.
+func (s *System) SocketConfigs() []int {
+	out := []int{1}
+	if s.Sockets > 1 {
+		out = append(out, s.Sockets)
+	}
+	return out
+}
+
 func (s *System) clampSockets(sockets int) int {
 	if sockets < 1 {
 		sockets = 1

@@ -196,6 +196,18 @@ func TestIdunSystemsOrder(t *testing.T) {
 	}
 }
 
+func TestSocketConfigs(t *testing.T) {
+	dual := IdunGold6132
+	if got := dual.SocketConfigs(); len(got) != 2 || got[0] != 1 || got[1] != dual.Sockets {
+		t.Fatalf("dual-socket configs = %v", got)
+	}
+	single := dual
+	single.Sockets = 1
+	if got := single.SocketConfigs(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("single-socket configs = %v", got)
+	}
+}
+
 func TestSystemString(t *testing.T) {
 	s := IdunGold6132.String()
 	for _, frag := range []string{"Gold 6132", "AVX512", "2x14", "19.25 MiB"} {

@@ -106,10 +106,21 @@ func NewPool(workers int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // Run executes body(lo, hi) over a static partition of [0, n) on the pool
-// and blocks until every block has finished.
-func (p *Pool) Run(n int, body func(lo, hi int)) {
+// and blocks until every block has finished. It reports whether the batch
+// ran: false means the pool was already closed and no work executed — the
+// guard keeps a late caller from sending on the closed task channel and
+// panicking, and the return value keeps the dropped batch detectable so a
+// measurement site never silently records work that did not happen.
+func (p *Pool) Run(n int, body func(lo, hi int)) bool {
 	if n <= 0 {
-		return
+		return true
+	}
+	// Hold the close lock while enqueueing so Close cannot close the task
+	// channel mid-batch; the workers keep draining, so the sends finish.
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return false
 	}
 	ranges := StaticPartition(n, p.workers)
 	p.wg.Add(len(ranges))
@@ -117,11 +128,13 @@ func (p *Pool) Run(n int, body func(lo, hi int)) {
 		r := r
 		p.tasks <- func() { body(r.Lo, r.Hi) }
 	}
+	p.closeMu.Unlock()
 	p.wg.Wait()
+	return true
 }
 
-// Close shuts the workers down. The pool must be idle; Run must not be
-// called after Close. Close is idempotent.
+// Close shuts the workers down once in-flight batches finish enqueueing.
+// Close is idempotent, and Run after Close is a safe no-op.
 func (p *Pool) Close() {
 	p.closeMu.Lock()
 	defer p.closeMu.Unlock()

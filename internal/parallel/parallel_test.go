@@ -133,6 +133,42 @@ func TestPoolCloseIdempotent(t *testing.T) {
 	pool.Close() // must not panic
 }
 
+func TestPoolRunAfterCloseIsNoOp(t *testing.T) {
+	pool := NewPool(2)
+	pool.Run(100, func(lo, hi int) {})
+	pool.Close()
+	ran := false
+	ok := pool.Run(100, func(lo, hi int) { ran = true }) // must not panic
+	if ran {
+		t.Fatal("Run on a closed pool must not execute the body")
+	}
+	if ok {
+		t.Fatal("Run on a closed pool must report the dropped batch")
+	}
+}
+
+func TestPoolConcurrentRunAndClose(t *testing.T) {
+	// Close racing an in-flight Run must neither panic nor lose work:
+	// either the batch fully runs (enqueued before the close) or it is
+	// dropped whole (pool already closed).
+	for trial := 0; trial < 50; trial++ {
+		pool := NewPool(4)
+		var sum int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			pool.Run(1000, func(lo, hi int) {
+				atomic.AddInt64(&sum, int64(hi-lo))
+			})
+		}()
+		pool.Close()
+		<-done
+		if got := atomic.LoadInt64(&sum); got != 0 && got != 1000 {
+			t.Fatalf("trial %d: partial batch ran: covered %d of 1000", trial, got)
+		}
+	}
+}
+
 func TestDefaultThreadsPositive(t *testing.T) {
 	if DefaultThreads() < 1 {
 		t.Fatal("DefaultThreads must be >= 1")

@@ -131,14 +131,18 @@ func (v *Vectors) Run(k Kernel, threads int) {
 }
 
 // RunPool is Run using a persistent worker pool, avoiding goroutine
-// startup in the measured loop.
+// startup in the measured loop. A closed pool panics: silently skipping
+// the traversal would record a bandwidth sample over work that never
+// happened, and silently re-running it with fresh goroutines would time
+// their startup — a measurement site must fail loudly instead.
 func (v *Vectors) RunPool(k Kernel, pool *parallel.Pool) {
 	n := v.N()
+	ran := false
 	switch k {
 	case Copy:
-		pool.Run(n, func(lo, hi int) { copy(v.C[lo:hi], v.A[lo:hi]) })
+		ran = pool.Run(n, func(lo, hi int) { copy(v.C[lo:hi], v.A[lo:hi]) })
 	case Scale:
-		pool.Run(n, func(lo, hi int) {
+		ran = pool.Run(n, func(lo, hi int) {
 			g := v.Gamma
 			b, c := v.B[lo:hi], v.C[lo:hi]
 			for i := range b {
@@ -146,14 +150,14 @@ func (v *Vectors) RunPool(k Kernel, pool *parallel.Pool) {
 			}
 		})
 	case Add:
-		pool.Run(n, func(lo, hi int) {
+		ran = pool.Run(n, func(lo, hi int) {
 			a, b, c := v.A[lo:hi], v.B[lo:hi], v.C[lo:hi]
 			for i := range c {
 				c[i] = a[i] + b[i]
 			}
 		})
 	case Triad:
-		pool.Run(n, func(lo, hi int) {
+		ran = pool.Run(n, func(lo, hi int) {
 			g := v.Gamma
 			a, b, c := v.A[lo:hi], v.B[lo:hi], v.C[lo:hi]
 			for i := range a {
@@ -162,6 +166,9 @@ func (v *Vectors) RunPool(k Kernel, pool *parallel.Pool) {
 		})
 	default:
 		panic(fmt.Sprintf("stream: unknown kernel %v", k))
+	}
+	if !ran {
+		panic("stream: RunPool on a closed pool")
 	}
 }
 

@@ -116,3 +116,14 @@ func TestUnknownKernelPanics(t *testing.T) {
 	}()
 	NewVectors(10).Run(Kernel(42), 1)
 }
+
+func TestRunPoolClosedPoolPanics(t *testing.T) {
+	pool := parallel.NewPool(2)
+	pool.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunPool on a closed pool must panic, not skip or re-time the work")
+		}
+	}()
+	NewVectors(100).RunPool(Triad, pool)
+}

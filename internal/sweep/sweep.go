@@ -1,0 +1,134 @@
+// Package sweep is the engine-agnostic autotuning sweep layer: it runs a
+// set of independent tuning sweeps — one per (socket configuration x
+// residency region) in the roofline reproduction — and recovers each
+// winner as a typed bench.Config instead of re-parsing outcome keys.
+//
+// Specs are independent by construction: each owns its engine and clock,
+// and the simulated engines derive every noise sample by hashing
+// (seed, configuration, invocation) rather than engine state. The runner
+// may therefore execute specs concurrently with results bit-identical to
+// serial execution (asserted by TestRunParallelDeterminism), mirroring
+// the guarantee experiments.RunCampaign already makes per system.
+package sweep
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/parallel"
+	"rooftune/internal/vclock"
+)
+
+// Spec is one independent autotuning sweep: a named case list measured on
+// its own engine clock. The clock must be the one the cases' engine
+// advances, so the outcome's Elapsed accounts the sweep's full cost.
+type Spec struct {
+	Name  string
+	Clock vclock.Clock
+	Cases []bench.Case
+}
+
+// Outcome pairs a finished sweep with its typed winning configuration.
+type Outcome struct {
+	Name string
+	// Result is the tuner's full search result.
+	Result *core.Result
+	// Best is the winner's typed identity (nil only if the winning Case
+	// itself carried no config, e.g. a test fake).
+	Best bench.Config
+}
+
+// BestValue returns the winning mean in metric base units.
+func (o *Outcome) BestValue() float64 { return o.Result.BestValue() }
+
+// DGEMM returns the winner as a DGEMM configuration.
+func (o *Outcome) DGEMM() (bench.DGEMMConfig, error) {
+	cfg, ok := o.Best.(bench.DGEMMConfig)
+	if !ok {
+		return cfg, fmt.Errorf("sweep: %s winner has config %T, want DGEMM", o.Name, o.Best)
+	}
+	return cfg, nil
+}
+
+// Triad returns the winner as a TRIAD configuration.
+func (o *Outcome) Triad() (bench.TriadConfig, error) {
+	cfg, ok := o.Best.(bench.TriadConfig)
+	if !ok {
+		return cfg, fmt.Errorf("sweep: %s winner has config %T, want TRIAD", o.Name, o.Best)
+	}
+	return cfg, nil
+}
+
+// Runner executes sweeps with a shared budget and traversal order.
+type Runner struct {
+	Budget bench.Budget
+	Order  core.Order
+	// Serial forces one-sweep-at-a-time execution. Native builds set it:
+	// concurrent wall-clock measurement would contend on the host. For
+	// simulated builds it exists for debugging and the determinism tests —
+	// parallel results are bit-identical either way.
+	Serial bool
+	// Workers caps sweep-level concurrency (default GOMAXPROCS).
+	Workers int
+}
+
+// Run executes every spec and returns outcomes in spec order. Specs run
+// concurrently unless Serial is set; outcomes and the reported error
+// (always the first failing spec in spec order) never depend on
+// scheduling. Serial runs additionally fail fast — no sweep starts after
+// a failure, so a broken first sweep on the native path never pays for
+// minutes of doomed wall-clock benchmarking. Parallel runs finish every
+// in-flight spec instead: skipping by a racy flag would make which error
+// surfaces depend on timing. An empty case list is an error, as is an
+// empty spec slice.
+func (r *Runner) Run(specs []Spec) ([]Outcome, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sweep: no specs")
+	}
+	outs := make([]Outcome, len(specs))
+	errs := make([]error, len(specs))
+	workers := r.Workers
+	if workers <= 0 {
+		workers = parallel.DefaultThreads()
+	}
+	if r.Serial {
+		workers = 1
+	}
+	failFast := workers == 1
+	var failed atomic.Bool
+	parallel.For(len(specs), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if failFast && failed.Load() {
+				return
+			}
+			outs[i], errs[i] = r.runOne(specs[i])
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+func (r *Runner) runOne(s Spec) (Outcome, error) {
+	if len(s.Cases) == 0 {
+		return Outcome{}, fmt.Errorf("sweep: %s: empty case list", s.Name)
+	}
+	tuner := core.NewTuner(s.Clock, r.Budget, r.Order)
+	res, err := tuner.Run(s.Cases)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sweep: %s: %w", s.Name, err)
+	}
+	out := Outcome{Name: s.Name, Result: res}
+	if res.Best != nil {
+		out.Best = res.Best.Config
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@ import (
 	"rooftune/internal/core"
 	"rooftune/internal/hw"
 	"rooftune/internal/roofline"
+	"rooftune/internal/sweep"
 	"rooftune/internal/units"
 )
 
@@ -50,6 +51,13 @@ type Options struct {
 	// paper's 3 KiB .. 768 MiB for simulated builds; 3 KiB .. 256 MiB
 	// native).
 	TriadLo, TriadHi units.ByteSize
+	// Serial disables the concurrent sweep execution of simulated builds.
+	// Every sweep owns its engine, clock and noise streams, so parallel
+	// results are bit-identical to serial ones (asserted by
+	// TestSimulatedParallelDeterminism); Serial exists for debugging.
+	// Native builds are always serial: concurrent wall-clock measurement
+	// would contend on the host.
+	Serial bool
 }
 
 func (o *Options) withDefaults(native bool) Options {
@@ -151,38 +159,70 @@ func Simulated(systemName string, opt *Options) (*Result, error) {
 	return SimulatedSystem(sys, opt)
 }
 
-// SimulatedSystem is Simulated for an explicit system description.
+// SimulatedSystem is Simulated for an explicit system description. The
+// independent sweeps (socket configurations x residency regions) run
+// concurrently, each on its own engine, clock and noise streams; results
+// are bit-identical to a serial run (Options.Serial).
 func SimulatedSystem(sys hw.System, opt *Options) (*Result, error) {
 	o := opt.withDefaults(false)
-	eng := bench.NewSimEngine(sys, o.Seed)
-	res := &Result{SystemName: sys.Name, Engine: eng.Name()}
+	runner := &sweep.Runner{Budget: *o.Budget, Order: core.OrderForward, Serial: o.Serial}
+	res := &Result{SystemName: sys.Name, Engine: bench.SimEngineName(sys)}
+	return assembleResult(res, planSimulated(sys, o), runner)
+}
 
-	socketConfigs := []int{1}
-	if sys.Sockets > 1 {
-		socketConfigs = append(socketConfigs, sys.Sockets)
-	}
-	for _, sockets := range socketConfigs {
+// Native autotunes the real Go kernels on the host machine. Sweeps always
+// run serially: concurrent wall-clock measurement would contend on the
+// host and corrupt every sample.
+func Native(opt *Options) (*Result, error) {
+	o := opt.withDefaults(true)
+	eng := bench.NewNativeEngine(o.Threads)
+	runner := &sweep.Runner{Budget: *o.Budget, Order: core.OrderForward, Serial: true}
+	res := &Result{SystemName: "host", Engine: eng.Name()}
+	return assembleResult(res, planNative(eng, o), runner)
+}
+
+// sweepPlan pairs sweep specs with the metadata needed to turn their
+// typed winners into Result points. specs[i] and metas[i] describe the
+// same sweep; spec order is Compute-point order then Memory-point order.
+type sweepPlan struct {
+	specs []sweep.Spec
+	metas []pointMeta
+}
+
+// pointMeta says how one sweep's outcome lands in the Result.
+type pointMeta struct {
+	compute   bool // true: ComputePoint; false: MemoryPoint
+	sockets   int
+	region    string
+	theoFlops units.Flops     // Eq. 9 peak (simulated compute sweeps)
+	theoBW    units.Bandwidth // Eq. 11 peak (simulated DRAM sweeps)
+}
+
+func (p *sweepPlan) add(s sweep.Spec, m pointMeta) {
+	p.specs = append(p.specs, s)
+	p.metas = append(p.metas, m)
+}
+
+// planSimulated builds the simulated build's sweeps. Every sweep gets its
+// own engine: the calibrated models derive each sample by hashing
+// (seed, configuration, invocation), so splitting the engine changes no
+// measurement while making the sweeps schedulable in any order.
+func planSimulated(sys hw.System, o Options) *sweepPlan {
+	p := &sweepPlan{}
+	for _, sockets := range sys.SocketConfigs() {
+		eng := bench.NewSimEngine(sys, o.Seed)
 		cases := make([]bench.Case, len(o.Space))
 		for i, d := range o.Space {
 			cases[i] = eng.DGEMMCase(d.N, d.M, d.K, sockets)
 		}
-		tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
-		r, err := tuner.Run(cases)
-		if err != nil {
-			return nil, fmt.Errorf("rooftune: DGEMM tuning (%d sockets): %w", sockets, err)
-		}
-		var d core.Dims
-		fmt.Sscanf(r.Best.Key, "dgemm/%d/%dx%dx%d", &sockets, &d.N, &d.M, &d.K)
-		res.Compute = append(res.Compute, ComputePoint{
-			Sockets:     sockets,
-			Dims:        d,
-			Flops:       units.Flops(r.BestValue()),
-			Theoretical: sys.TheoreticalFlops(sockets),
-		})
+		p.add(
+			sweep.Spec{Name: fmt.Sprintf("DGEMM (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
+			pointMeta{compute: true, sockets: sockets, theoFlops: sys.TheoreticalFlops(sockets)},
+		)
 	}
 
 	grid := units.TriadGridElements(units.WorkingSetGridDense(o.TriadLo, o.TriadHi, 4))
-	for _, sockets := range socketConfigs {
+	for _, sockets := range sys.SocketConfigs() {
 		aff := hw.AffinityClose
 		if sockets > 1 {
 			aff = hw.AffinitySpread
@@ -196,65 +236,43 @@ func SimulatedSystem(sys hw.System, opt *Options) (*Result, error) {
 		} {
 			l3 := float64(sys.L3Total(sockets))
 			l2 := float64(sys.L2PerCore) * float64(sys.Cores(sockets))
+			eng := bench.NewSimEngine(sys, o.Seed)
 			var cases []bench.Case
-			var elems []int
 			for _, n := range grid {
 				w := units.TriadBytes(n)
 				if w <= l2 || w < region.min*l3 || w > region.max*l3 {
 					continue
 				}
 				cases = append(cases, eng.TriadCase(n, aff, sockets))
-				elems = append(elems, n)
 			}
 			if len(cases) == 0 {
 				continue
 			}
-			tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
-			r, err := tuner.Run(cases)
-			if err != nil {
-				return nil, fmt.Errorf("rooftune: TRIAD tuning (%s, %d sockets): %w", region.name, sockets, err)
-			}
-			mp := MemoryPoint{
-				Sockets:   sockets,
-				Region:    region.name,
-				Bandwidth: units.Bandwidth(r.BestValue()),
-			}
-			for i, c := range cases {
-				if c.Key() == r.Best.Key {
-					mp.Elements = elems[i]
-				}
-			}
+			meta := pointMeta{sockets: sockets, region: region.name}
 			if region.name == "DRAM" {
-				mp.Theoretical = sys.TheoreticalBandwidth(sockets)
+				meta.theoBW = sys.TheoreticalBandwidth(sockets)
 			}
-			res.Memory = append(res.Memory, mp)
+			p.add(
+				sweep.Spec{Name: fmt.Sprintf("TRIAD %s (%d sockets)", region.name, sockets), Clock: eng.Clock, Cases: cases},
+				meta,
+			)
 		}
 	}
-	res.SearchTime = eng.Clock.Now()
-	res.Roofline = assembleRoofline(res)
-	return res, nil
+	return p
 }
 
-// Native autotunes the real Go kernels on the host machine.
-func Native(opt *Options) (*Result, error) {
-	o := opt.withDefaults(true)
-	eng := bench.NewNativeEngine(o.Threads)
-	res := &Result{SystemName: "host", Engine: eng.Name()}
-
+// planNative builds the native build's sweeps on one shared engine (the
+// host is the engine; there is nothing to split).
+func planNative(eng *bench.NativeEngine, o Options) *sweepPlan {
+	p := &sweepPlan{}
 	cases := make([]bench.Case, len(o.Space))
 	for i, d := range o.Space {
 		cases[i] = eng.DGEMMCase(d.N, d.M, d.K)
 	}
-	tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
-	r, err := tuner.Run(cases)
-	if err != nil {
-		return nil, fmt.Errorf("rooftune: native DGEMM tuning: %w", err)
-	}
-	var d core.Dims
-	fmt.Sscanf(r.Best.Key, "native-dgemm/%dx%dx%d", &d.N, &d.M, &d.K)
-	res.Compute = append(res.Compute, ComputePoint{
-		Sockets: 1, Dims: d, Flops: units.Flops(r.BestValue()),
-	})
+	p.add(
+		sweep.Spec{Name: "native DGEMM", Clock: eng.Clock, Cases: cases},
+		pointMeta{compute: true, sockets: 1},
+	)
 
 	grid := units.TriadGridElements(units.WorkingSetGridDense(o.TriadLo, o.TriadHi, 2))
 	for _, region := range []struct {
@@ -265,35 +283,61 @@ func Native(opt *Options) (*Result, error) {
 		{"DRAM", o.AssumedLLC * 4, 1 << 62},
 	} {
 		var cases []bench.Case
-		var elems []int
 		for _, n := range grid {
 			w := units.ByteSize(units.TriadBytes(n))
 			if w < region.min || w > region.max {
 				continue
 			}
 			cases = append(cases, eng.TriadCase(n))
-			elems = append(elems, n)
 		}
 		if len(cases) == 0 {
 			continue
 		}
-		tuner := core.NewTuner(eng.Clock, *o.Budget, core.OrderForward)
-		r, err := tuner.Run(cases)
-		if err != nil {
-			return nil, fmt.Errorf("rooftune: native TRIAD tuning (%s): %w", region.name, err)
-		}
-		mp := MemoryPoint{
-			Sockets: 1, Region: region.name,
-			Bandwidth: units.Bandwidth(r.BestValue()),
-		}
-		for i, c := range cases {
-			if c.Key() == r.Best.Key {
-				mp.Elements = elems[i]
-			}
-		}
-		res.Memory = append(res.Memory, mp)
+		p.add(
+			sweep.Spec{Name: "native TRIAD " + region.name, Clock: eng.Clock, Cases: cases},
+			pointMeta{sockets: 1, region: region.name},
+		)
 	}
-	res.SearchTime = eng.Clock.Now()
+	return p
+}
+
+// assembleResult runs the plan's sweeps and builds Result points from
+// their typed winners. Winning configurations come from bench.Config
+// carried on the outcome — no key string is ever parsed, so a key-format
+// change can no longer silently zero the reported dimensions.
+func assembleResult(res *Result, p *sweepPlan, runner *sweep.Runner) (*Result, error) {
+	outs, err := runner.Run(p.specs)
+	if err != nil {
+		return nil, fmt.Errorf("rooftune: %w", err)
+	}
+	for i, out := range outs {
+		meta := p.metas[i]
+		if meta.compute {
+			cfg, err := out.DGEMM()
+			if err != nil {
+				return nil, fmt.Errorf("rooftune: %w", err)
+			}
+			res.Compute = append(res.Compute, ComputePoint{
+				Sockets:     meta.sockets,
+				Dims:        core.ConfigDims(cfg),
+				Flops:       units.Flops(out.BestValue()),
+				Theoretical: meta.theoFlops,
+			})
+		} else {
+			cfg, err := out.Triad()
+			if err != nil {
+				return nil, fmt.Errorf("rooftune: %w", err)
+			}
+			res.Memory = append(res.Memory, MemoryPoint{
+				Sockets:     meta.sockets,
+				Region:      meta.region,
+				Elements:    cfg.Elements,
+				Bandwidth:   units.Bandwidth(out.BestValue()),
+				Theoretical: meta.theoBW,
+			})
+		}
+		res.SearchTime += out.Result.Elapsed
+	}
 	res.Roofline = assembleRoofline(res)
 	return res, nil
 }

@@ -2,6 +2,7 @@ package rooftune
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -122,11 +123,141 @@ func TestNativeQuick(t *testing.T) {
 	if len(res.Compute) != 1 || res.Compute[0].Flops <= 0 {
 		t.Fatalf("native compute: %+v", res.Compute)
 	}
+	if (res.Compute[0].Dims == core.Dims{}) {
+		t.Fatal("native winning dims must not be zero")
+	}
 	if len(res.Memory) == 0 {
 		t.Fatal("native memory points missing")
 	}
+	for _, m := range res.Memory {
+		if m.Elements <= 0 {
+			t.Fatalf("native memory point %s has no vector length: %+v", m.Region, m)
+		}
+	}
 	if res.Roofline.Validate() != nil {
 		t.Fatal("native roofline must validate")
+	}
+	summary := res.Summary()
+	for _, frag := range []string{"host (engine native)", "compute 1 socket"} {
+		if !strings.Contains(summary, frag) {
+			t.Fatalf("native summary missing %q:\n%s", frag, summary)
+		}
+	}
+}
+
+// tinySystem is a single-socket machine small enough for fast sweeps.
+func tinySystem() hw.System {
+	return hw.System{
+		Name: "tiny", FreqGHz: 3, CoresPerSocket: 4, Vector: hw.AVX2,
+		FMAUnits: 2, Sockets: 1, DRAMFreqMHz: 3200, DRAMChannels: 2,
+		BytesPerCycle: 8, L3PerSocket: 8 * units.MiB,
+		L2PerCore: 256 * units.KiB, L1PerCore: 32 * units.KiB,
+	}
+}
+
+func tinyOptions(serial bool) *Options {
+	return &Options{
+		Space: []core.Dims{
+			{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128},
+			{N: 2048, M: 2048, K: 128},
+		},
+		TriadLo: 16 * units.KiB,
+		TriadHi: 256 * units.MiB,
+		Serial:  serial,
+	}
+}
+
+func TestSimulatedParallelDeterminism(t *testing.T) {
+	serial, err := SimulatedSystem(tinySystem(), tinyOptions(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SimulatedSystem(tinySystem(), tinyOptions(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The concurrent sweeps must be bit-identical to the serial path:
+	// same winners, same peaks, same virtual search time, same roofline.
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel result diverged from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if serial.SearchTime <= 0 {
+		t.Fatal("virtual search time must be positive")
+	}
+}
+
+// TestSimulatedWinningDims is the regression for the silently-zero Dims
+// bug: the dims reported in Result.Compute must be the actual best case's
+// typed configuration, never a zero value from a failed key re-parse.
+func TestSimulatedWinningDims(t *testing.T) {
+	sys := tinySystem()
+	o := tinyOptions(true)
+	res, err := SimulatedSystem(sys, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compute) != 1 {
+		t.Fatalf("compute points: %d", len(res.Compute))
+	}
+	got := res.Compute[0].Dims
+	if (got == core.Dims{}) {
+		t.Fatal("winning dims must not be zero")
+	}
+	// Re-run the same sweep independently and compare against the typed
+	// winner of the tuner itself.
+	eng := bench.NewSimEngine(sys, 1021)
+	cases := make([]bench.Case, len(o.Space))
+	for i, d := range o.Space {
+		cases[i] = eng.DGEMMCase(d.N, d.M, d.K, 1)
+	}
+	b := bench.DefaultBudget().WithFlags(true, true, true)
+	r, err := core.NewTuner(eng.Clock, b, core.OrderForward).Run(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.ConfigDims(r.Best.Config.(bench.DGEMMConfig))
+	if got != want {
+		t.Fatalf("reported dims %v, actual best case %v", got, want)
+	}
+	for _, m := range res.Memory {
+		if m.Elements <= 0 {
+			t.Fatalf("memory point %s has no winning vector length: %+v", m.Region, m)
+		}
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	res := &Result{
+		SystemName: "demo",
+		Engine:     "sim:demo",
+		SearchTime: 90 * time.Second,
+		Compute: []ComputePoint{{
+			Sockets: 1, Dims: core.Dims{N: 4000, M: 512, K: 128},
+			Flops: 1400e9, Theoretical: 1536e9,
+		}},
+		Memory: []MemoryPoint{
+			{Sockets: 1, Region: "DRAM", Elements: 1 << 24, Bandwidth: 60e9, Theoretical: 76.8e9},
+			{Sockets: 1, Region: "L3", Elements: 1 << 18, Bandwidth: 300e9},
+		},
+	}
+	s := res.Summary()
+	for _, frag := range []string{
+		"demo (engine sim:demo), search time 90.00s",
+		"compute 1 socket(s)",
+		"n,m,k=4000,512,128",
+		"of theoretical", // percent-of-theoretical rendering
+		"DRAM",
+		"L3",
+		"N=16777216",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, s)
+		}
+	}
+	// The L3 point has no theoretical peak, so exactly two points render
+	// a percent-of-theoretical clause (compute + DRAM).
+	if got := strings.Count(s, "of theoretical"); got != 2 {
+		t.Fatalf("theoretical clauses = %d, want 2:\n%s", got, s)
 	}
 }
 
