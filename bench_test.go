@@ -15,6 +15,7 @@ package rooftune
 // wall-clock ns/op.
 
 import (
+	"context"
 	"testing"
 
 	"rooftune/internal/bench"
@@ -330,7 +331,7 @@ func BenchmarkAblationOrder(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng := bench.NewSimEngine(hw.IdunGold6148, experiments.DefaultSeed)
 				tuner := core.NewTuner(eng.Clock, budget, ord)
-				res, err := tuner.Run(experiments.DGEMMCases(eng, space, 1))
+				res, err := tuner.Run(context.Background(), experiments.DGEMMCases(eng, space, 1))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -359,7 +360,7 @@ func BenchmarkAblationSpace(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng := bench.NewSimEngine(hw.IdunE52650v4, experiments.DefaultSeed)
 				tuner := core.NewTuner(eng.Clock, budget, core.OrderForward)
-				res, err := tuner.Run(experiments.DGEMMCases(eng, sp.space, 1))
+				res, err := tuner.Run(context.Background(), experiments.DGEMMCases(eng, sp.space, 1))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -384,7 +385,7 @@ func BenchmarkAblationSearch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng := bench.NewSimEngine(hw.IdunGold6148, experiments.DefaultSeed)
 			tuner := core.NewTuner(eng.Clock, budget, core.OrderForward)
-			res, err := tuner.Run(experiments.DGEMMCases(eng, space, 1))
+			res, err := tuner.Run(context.Background(), experiments.DGEMMCases(eng, space, 1))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -398,7 +399,7 @@ func BenchmarkAblationSearch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng := bench.NewSimEngine(hw.IdunGold6148, experiments.DefaultSeed)
 			ls := core.NewLocalSearch(eng.Clock, budget, core.UnionSpaceNeighborhood(), 6, 11)
-			res, err := ls.Run(experiments.DGEMMCases(eng, space, 1))
+			res, err := ls.Run(context.Background(), experiments.DGEMMCases(eng, space, 1))
 			if err != nil {
 				b.Fatal(err)
 			}

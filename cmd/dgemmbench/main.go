@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 }
 
 func run(eval *bench.Evaluator, c bench.Case) {
-	out, err := eval.Evaluate(c, bench.NoBest)
+	out, err := eval.Evaluate(context.Background(), c, bench.NoBest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgemmbench:", err)
 		os.Exit(1)

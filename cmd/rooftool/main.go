@@ -1,19 +1,23 @@
 // Command rooftool autotunes the DGEMM and TRIAD benchmarks for a target
 // system and emits its empirical Roofline model — the end-to-end tool the
-// paper describes.
+// paper describes. Interrupting a run (Ctrl-C) cancels it cleanly between
+// kernel executions; -progress streams the tuning live to stderr.
 //
 // Examples:
 //
 //	rooftool -system "Gold 6148"              # simulate a paper system
-//	rooftool -native                          # tune the host with real kernels
+//	rooftool -native -progress                # tune the host, live output
 //	rooftool -system 2650v4 -format svg -out roofline.svg
+//	rooftool -workloads dgemm                 # compute roof only
 //	rooftool -list                            # list known systems
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"rooftune"
@@ -22,34 +26,64 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "Gold 6148", "simulated system name (see -list)")
-		native  = flag.Bool("native", false, "tune the host with real Go kernels instead of simulating")
-		seed    = flag.Uint64("seed", 1021, "noise seed for simulated engines")
-		format  = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
-		out     = flag.String("out", "", "output file (default stdout)")
-		threads = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
-		list    = flag.Bool("list", false, "list known systems and exit")
+		system    = flag.String("system", "Gold 6148", "simulated system name (see -list)")
+		native    = flag.Bool("native", false, "tune the host with real Go kernels instead of simulating")
+		seed      = flag.Uint64("seed", 1021, "noise seed for simulated engines")
+		format    = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
+		out       = flag.String("out", "", "output file (default stdout)")
+		threads   = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
+		workloads = flag.String("workloads", "", "comma-separated workloads to run (default: dgemm,triad; see -list)")
+		progress  = flag.Bool("progress", false, "stream live tuning progress to stderr")
+		list      = flag.Bool("list", false, "list known systems and workloads, then exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("known systems:", strings.Join(hw.Known(), ", "))
+		fmt.Println("known systems:  ", strings.Join(hw.Known(), ", "))
+		fmt.Println("known workloads:", strings.Join(rooftune.WorkloadNames(), ", "))
 		return
 	}
 
-	opt := &rooftune.Options{Seed: *seed, Threads: *threads}
-	var (
-		res *rooftune.Result
-		err error
-	)
+	opts := []rooftune.Option{rooftune.WithSeed(*seed), rooftune.WithThreads(*threads)}
 	if *native {
-		res, err = rooftune.Native(opt)
+		opts = append(opts, rooftune.WithNative())
 	} else {
-		res, err = rooftune.Simulated(*system, opt)
+		opts = append(opts, rooftune.WithSystem(*system))
 	}
+	if *workloads != "" {
+		var names []string
+		for _, name := range strings.Split(*workloads, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		opts = append(opts, rooftune.WithWorkloads(names...))
+	}
+	if *progress {
+		opts = append(opts, rooftune.WithProgress(printEvent))
+	}
+
+	sess, err := rooftune.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rooftool:", err)
 		os.Exit(1)
+	}
+
+	// Ctrl-C cancels the run between kernel executions instead of killing
+	// the process mid-measurement.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sess.Run(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rooftool:", err)
+		os.Exit(1)
+	}
+	// Empty-region warnings also arrived as events; repeat them here so
+	// they are visible without -progress.
+	if !*progress {
+		for _, w := range res.Warnings {
+			fmt.Fprintln(os.Stderr, "rooftool: warning:", w)
+		}
 	}
 
 	var rendered string
@@ -85,4 +119,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", *out, len(rendered))
+}
+
+// printEvent renders one live progress event as a stderr line.
+func printEvent(ev rooftune.Event) {
+	switch ev.Kind {
+	case rooftune.EventSweepStarted:
+		fmt.Fprintf(os.Stderr, "[start] %s: %d cases\n", ev.Sweep, ev.Cases)
+	case rooftune.EventCaseEvaluated:
+		pruned := ""
+		if ev.Pruned {
+			pruned = "  (outer-pruned)"
+		}
+		fmt.Fprintf(os.Stderr, "[case ] %s: %s -> %.2f %s%s\n", ev.Sweep, ev.Case, ev.Value, ev.Unit, pruned)
+	case rooftune.EventSweepWon:
+		fmt.Fprintf(os.Stderr, "[won  ] %s: %s -> %.2f %s  (search %.2fs)\n",
+			ev.Sweep, ev.Case, ev.Value, ev.Unit, ev.Elapsed.Seconds())
+	case rooftune.EventRegionEmpty:
+		fmt.Fprintf(os.Stderr, "[warn ] %s\n", ev.Warning)
+	}
 }

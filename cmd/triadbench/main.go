@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,7 @@ func main() {
 }
 
 func run(eval *bench.Evaluator, c bench.Case) {
-	out, err := eval.Evaluate(c, bench.NoBest)
+	out, err := eval.Evaluate(context.Background(), c, bench.NoBest)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triadbench:", err)
 		os.Exit(1)

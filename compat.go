@@ -1,0 +1,157 @@
+package rooftune
+
+import (
+	"context"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+)
+
+// This file is the compatibility layer over the Session API: the original
+// package entry points (Simulated, SimulatedSystem, Native) and their
+// Options struct, kept as thin shims whose results are bit-identical to
+// New(...).Run(ctx) with the equivalent options (asserted by
+// TestShimEquivalence). New code should use New directly.
+
+// Options configures a roofline build. The zero value (or nil) means:
+// paper defaults for simulated builds, quick defaults for native builds.
+//
+// Deprecated: use New with functional options (WithSeed, WithBudget,
+// WithSpace, WithThreads, WithAssumedLLC, WithTriadRange, WithSerial).
+type Options struct {
+	// Seed drives the simulated engines' noise streams (default 1021).
+	Seed uint64
+	// Budget is the evaluation budget; defaults to Table I with the
+	// paper's best technique (Confidence + Inner + Outer bounds).
+	Budget *bench.Budget
+	// Space is the DGEMM search space (default: the paper's union space
+	// for simulated builds, a laptop-scale space for native builds).
+	Space []core.Dims
+	// Threads is the native engines' parallelism (default GOMAXPROCS).
+	Threads int
+	// AssumedLLC is the native build's last-level-cache estimate used to
+	// split the TRIAD sweep into cache and DRAM regions (default 32 MiB).
+	AssumedLLC units.ByteSize
+	// TriadLo/TriadHi bound the TRIAD working-set sweep (default: the
+	// paper's 3 KiB .. 768 MiB for simulated builds; 3 KiB .. 256 MiB
+	// native).
+	TriadLo, TriadHi units.ByteSize
+	// Serial disables the concurrent sweep execution of simulated builds.
+	Serial bool
+}
+
+// options converts the legacy struct to functional options: only fields
+// the old withDefaults treated as "set" (non-zero) become options, so the
+// Session resolves the exact same defaults the struct API did.
+func (o *Options) options() []Option {
+	if o == nil {
+		return nil
+	}
+	var opts []Option
+	if o.Seed != 0 {
+		opts = append(opts, WithSeed(o.Seed))
+	}
+	if o.Budget != nil {
+		opts = append(opts, WithBudget(*o.Budget))
+	}
+	if o.Space != nil {
+		opts = append(opts, WithSpace(o.Space))
+	}
+	if o.Threads != 0 {
+		opts = append(opts, WithThreads(o.Threads))
+	}
+	if o.AssumedLLC != 0 {
+		opts = append(opts, WithAssumedLLC(o.AssumedLLC))
+	}
+	if o.TriadLo != 0 || o.TriadHi != 0 {
+		opts = append(opts, WithTriadRange(o.TriadLo, o.TriadHi))
+	}
+	if o.Serial {
+		opts = append(opts, WithSerial())
+	}
+	return opts
+}
+
+// withDefaults resolves the legacy defaults. It survives for
+// TestOptionsDefaults, which pins the struct API's documented defaults;
+// the Session applies the same values in New.
+func (o *Options) withDefaults(native bool) Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Seed == 0 {
+		out.Seed = 1021
+	}
+	if out.Budget == nil {
+		b := bench.DefaultBudget().WithFlags(true, true, true)
+		if native {
+			b.Invocations = 3
+			b.MaxIterations = 30
+			b.MaxTime = 2 * time.Second
+		}
+		out.Budget = &b
+	}
+	if out.Space == nil {
+		if native {
+			out.Space = NativeQuickSpace()
+		} else {
+			out.Space = core.UnionDGEMMSpace()
+		}
+	}
+	if out.AssumedLLC == 0 {
+		out.AssumedLLC = 32 * units.MiB
+	}
+	if out.TriadLo == 0 {
+		out.TriadLo = 3 * units.KiB
+	}
+	if out.TriadHi == 0 {
+		if native {
+			out.TriadHi = 256 * units.MiB
+		} else {
+			out.TriadHi = 768 * units.MiB
+		}
+	}
+	return out
+}
+
+func runShim(opt *Options, target Option) (*Result, error) {
+	sess, err := New(append(opt.options(), target)...)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(context.Background())
+}
+
+// Simulated autotunes DGEMM and TRIAD on the named system's calibrated
+// models and assembles the roofline. Known names: "2650v4", "2695v4",
+// "Gold 6132", "Gold 6148", "Silver 4110", plus anything registered via
+// hw.Register.
+//
+// Deprecated: use New(WithSystem(name), ...) and Session.Run, which adds
+// context cancellation and progress events. This shim's Result is
+// bit-identical to the Session's.
+func Simulated(systemName string, opt *Options) (*Result, error) {
+	return runShim(opt, WithSystem(systemName))
+}
+
+// SimulatedSystem is Simulated for an explicit system description.
+//
+// Deprecated: use New(WithSystemSpec(sys), ...) and Session.Run. This
+// shim's Result is bit-identical to the Session's.
+func SimulatedSystem(sys hw.System, opt *Options) (*Result, error) {
+	return runShim(opt, WithSystemSpec(sys))
+}
+
+// Native autotunes the real Go kernels on the host machine. Sweeps always
+// run serially: concurrent wall-clock measurement would contend on the
+// host and corrupt every sample.
+//
+// Deprecated: use New(WithNative(), ...) and Session.Run. This shim's
+// Result is bit-identical to the Session's.
+func Native(opt *Options) (*Result, error) {
+	return runShim(opt, WithNative())
+}

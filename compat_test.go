@@ -1,0 +1,116 @@
+package rooftune
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rooftune/internal/core"
+	"rooftune/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestShimEquivalence pins the deprecation contract: the legacy entry
+// points are thin shims over Session, with bit-identical Results — same
+// winners, same means, same virtual search times, same roofline.
+func TestShimEquivalence(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("SimulatedSystem", func(t *testing.T) {
+		legacy, err := SimulatedSystem(tinySystem(), &Options{
+			Space: []core.Dims{
+				{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128},
+				{N: 2048, M: 2048, K: 128},
+			},
+			TriadLo: 16 * units.KiB,
+			TriadHi: 256 * units.MiB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := New(tinySessionOptions()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modern, err := sess.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, modern) {
+			t.Fatalf("shim diverged from Session:\nshim:    %+v\nsession: %+v", legacy, modern)
+		}
+	})
+
+	t.Run("Simulated", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("full tuning run")
+		}
+		legacy, err := Simulated("Gold 6148", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := New(WithSystem("Gold 6148"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		modern, err := sess.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(legacy, modern) {
+			t.Fatalf("shim diverged from Session:\nshim:    %+v\nsession: %+v", legacy, modern)
+		}
+	})
+}
+
+// TestShimErrorPropagation: construction-time validation reaches legacy
+// callers as plain errors.
+func TestShimErrorPropagation(t *testing.T) {
+	if _, err := SimulatedSystem(tinySystem(), &Options{TriadLo: 2 * units.GiB}); err == nil {
+		t.Fatal("inverted TRIAD bounds must error through the shim")
+	}
+	if _, err := Native(&Options{Threads: -1}); err == nil {
+		t.Fatal("negative threads must error through the shim")
+	}
+	if _, err := Simulated("warp-drive", nil); err == nil {
+		t.Fatal("unknown system must error through the shim")
+	}
+}
+
+// TestSummaryGolden pins Result.Summary's exact rendering against
+// testdata/summary.golden (regenerate with -update).
+func TestSummaryGolden(t *testing.T) {
+	res := &Result{
+		SystemName: "demo",
+		Engine:     "sim:demo",
+		SearchTime: 90 * time.Second,
+		Compute: []ComputePoint{{
+			Sockets: 1, Dims: core.Dims{N: 4000, M: 512, K: 128},
+			Flops: 1400e9, Theoretical: 1536e9,
+		}},
+		Memory: []MemoryPoint{
+			{Sockets: 1, Region: "DRAM", Elements: 1 << 24, Bandwidth: 60e9, Theoretical: 76.8e9},
+			{Sockets: 1, Region: "L3", Elements: 1 << 18, Bandwidth: 300e9},
+		},
+		Warnings: []string{"TRIAD L2 (1 sockets): no working-set sizes fall in the region"},
+	}
+	got := res.Summary()
+	golden := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("summary drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,11 @@ func main() {
 	fmt.Printf("theoretical peak (Eq. 9):      %v\n", sys.TheoreticalFlops(1))
 	fmt.Printf("theoretical bandwidth (Eq. 11): %v\n\n", sys.TheoreticalBandwidth(1))
 
-	res, err := rooftune.Simulated("W-3275ish", nil)
+	sess, err := rooftune.New(rooftune.WithSystem("W-3275ish"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,130 @@
+// Custom workload: extend the roofline with your own benchmark family,
+// without touching package rooftune. A Workload turns the session target
+// and parameters into autotuning sweeps; this example models a toy STREAM
+// SCALE kernel (y[i] = s*x[i]) on a virtual clock, registers it under
+// "scale", and runs it alongside the built-in DGEMM and TRIAD workloads —
+// the extra bandwidth ceiling simply appears in the Result and roofline.
+//
+// The same mechanism is how real additions land (SpMV, stencils,
+// per-cache-level TRIAD residency regions): a new package implementing
+// rooftune.Workload, one RegisterWorkload call, and WithWorkloads.
+//
+//	go run ./examples/custom-workload
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"rooftune"
+	"rooftune/internal/bench"
+	"rooftune/internal/sweep"
+	"rooftune/internal/vclock"
+)
+
+// scaleWorkload plans one sweep over SCALE vector lengths. It implements
+// rooftune.Workload with a deterministic analytical model, so the example
+// runs instantly; a real workload would build engine-backed cases here
+// (compare internal/workloads/triad).
+type scaleWorkload struct{}
+
+func (scaleWorkload) Name() string { return "scale" }
+
+func (scaleWorkload) Plan(t rooftune.Target, p rooftune.Params) (rooftune.Plan, error) {
+	var plan rooftune.Plan
+	if t.IsNative() {
+		return plan, fmt.Errorf("scale: toy model only; no native kernel")
+	}
+	clock := vclock.NewVirtual()
+	var cases []bench.Case
+	for elems := 1 << 12; elems <= 1<<24; elems *= 4 {
+		// Respect the session's working-set bounds like the built-ins do
+		// (SCALE touches two vectors of 8-byte elements).
+		if w := elems * 16; w < int(p.TriadLo) || w > int(p.TriadHi) {
+			continue
+		}
+		cases = append(cases, &scaleCase{clock: clock, elems: elems})
+	}
+	if len(cases) == 0 {
+		plan.Warnf("SCALE: no vector lengths inside %v..%v — its ceiling will be missing", p.TriadLo, p.TriadHi)
+		return plan, nil
+	}
+	plan.Add(
+		sweep.Spec{Name: "toy SCALE", Clock: clock, Cases: cases},
+		// Land the winner as a memory point in the "SCALE" region.
+		rooftune.Point{Sockets: 1, Region: "SCALE"},
+	)
+	return plan, nil
+}
+
+// scaleCase is one vector length of the toy kernel. The performance
+// model: loop overhead suppresses tiny vectors, cache capacity suppresses
+// huge ones, with a 64 GB/s peak in between.
+type scaleCase struct {
+	clock *vclock.Virtual
+	elems int
+}
+
+func (c *scaleCase) Key() string          { return fmt.Sprintf("scale/%d", c.elems) }
+func (c *scaleCase) Describe() string     { return fmt.Sprintf("N=%d", c.elems) }
+func (c *scaleCase) Metric() bench.Metric { return bench.MetricBandwidth }
+
+// Config reuses the TRIAD identity: memory-side winners are recovered as
+// bench.TriadConfig, which is how the session learns the winning length.
+func (c *scaleCase) Config() bench.Config {
+	return bench.TriadConfig{Elements: c.elems, Sockets: 1}
+}
+
+func (c *scaleCase) NewInvocation(inv int) (bench.Instance, error) {
+	c.clock.Advance(50 * time.Microsecond) // setup cost
+	return &scaleInstance{c: c}, nil
+}
+
+type scaleInstance struct{ c *scaleCase }
+
+func (i *scaleInstance) bandwidth() float64 {
+	n := float64(i.c.elems)
+	ramp := n / (n + 1<<14)            // loop/startup overhead for small N
+	spill := 1 / (1 + n/(1<<22))       // capacity falloff for large N
+	return 64e9 * ramp * (0.5 + spill) // peak ~64 GB/s mid-range
+}
+
+func (i *scaleInstance) Work() float64 { return float64(16 * i.c.elems) } // read x, write y
+
+func (i *scaleInstance) Step() time.Duration {
+	d := time.Duration(i.Work() / i.bandwidth() * float64(time.Second))
+	i.c.clock.Advance(d)
+	return d
+}
+
+func (i *scaleInstance) Warmup() { i.Step() }
+func (i *scaleInstance) Close()  {}
+
+func main() {
+	if err := rooftune.RegisterWorkload(scaleWorkload{}); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := rooftune.New(
+		rooftune.WithSystem("Gold 6148"),
+		rooftune.WithWorkloads("dgemm", "triad", "scale"),
+		rooftune.WithProgress(func(ev rooftune.Event) {
+			if ev.Kind == rooftune.EventSweepWon {
+				fmt.Printf("tuned %-22s -> %8.2f %s\n", ev.Sweep, ev.Value, ev.Unit)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(res.Summary())
+	fmt.Println(res.Roofline.RenderASCII(76, 20))
+}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,12 +43,12 @@ func main() {
 		var err error
 		if secondChance {
 			var sc *core.SecondChanceResult
-			sc, err = tuner.RunWithSecondChance(cases, core.DefaultSecondChance())
+			sc, err = tuner.RunWithSecondChance(context.Background(), cases, core.DefaultSecondChance())
 			if sc != nil {
 				res = sc.Result
 			}
 		} else {
-			res, err = tuner.Run(cases)
+			res, err = tuner.Run(context.Background(), cases)
 		}
 		if err != nil {
 			log.Fatal(err)

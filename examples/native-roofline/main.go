@@ -3,14 +3,18 @@
 // this is the tool doing on your laptop what the paper did on Xeon nodes.
 //
 // Expect a run time of a couple of minutes with the default budget; pass
-// a smaller space or fewer invocations for a faster sketch.
+// a smaller space or fewer invocations for a faster sketch. Progress
+// streams live as each sweep wins, and Ctrl-C cancels cleanly.
 //
 //	go run ./examples/native-roofline
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"rooftune"
@@ -27,21 +31,41 @@ func main() {
 	budget.MaxIterations = 20
 	budget.MaxTime = time.Second
 
-	res, err := rooftune.Native(&rooftune.Options{
-		Budget: &budget,
+	sess, err := rooftune.New(
+		rooftune.WithNative(),
+		rooftune.WithBudget(budget),
 		// Modest sizes keep a laptop run under a minute or two while
 		// still exercising the cache-blocked kernel.
-		Space: []core.Dims{
+		rooftune.WithSpace([]core.Dims{
 			{N: 256, M: 256, K: 128}, {N: 512, M: 512, K: 128},
 			{N: 512, M: 512, K: 256}, {N: 768, M: 768, K: 128},
 			{N: 1024, M: 512, K: 128}, {N: 512, M: 1024, K: 128},
-		},
-		TriadLo: 32 * units.KiB,
-		TriadHi: 128 * units.MiB,
-	})
+		}),
+		rooftune.WithTriadRange(32*units.KiB, 128*units.MiB),
+		// Live progress: one line when a sweep starts and one when it
+		// settles on a winner, so long native runs are never silent.
+		rooftune.WithProgress(func(ev rooftune.Event) {
+			switch ev.Kind {
+			case rooftune.EventSweepStarted:
+				fmt.Printf("tuning %s (%d cases)...\n", ev.Sweep, ev.Cases)
+			case rooftune.EventSweepWon:
+				fmt.Printf("  %s: %.2f %s with %s\n", ev.Sweep, ev.Value, ev.Unit, ev.Case)
+			case rooftune.EventRegionEmpty:
+				fmt.Printf("  warning: %s\n", ev.Warning)
+			}
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sess.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
 	fmt.Print(res.Summary())
 	fmt.Println(res.Roofline.RenderASCII(76, 18))
 	fmt.Println("(native engine: wall-clock measurements of real Go kernels)")

@@ -1,11 +1,12 @@
 // Quickstart: build the empirical Roofline model of a paper system in a
 // few lines. The simulated engine makes this deterministic and instant;
-// swap rooftune.Simulated for rooftune.Native to profile your own machine.
+// swap WithSystem for rooftune.WithNative() to profile your own machine.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,11 @@ func main() {
 	// Autotune DGEMM (compute roof) and TRIAD (memory roofs) for the
 	// Intel Xeon Gold 6148 node of the paper, with the paper's best
 	// technique (confidence intervals + early termination) as the default.
-	res, err := rooftune.Simulated("Gold 6148", nil)
+	sess, err := rooftune.New(rooftune.WithSystem("Gold 6148"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

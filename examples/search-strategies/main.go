@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 		eng := bench.NewSimEngine(sys, experiments.DefaultSeed)
 		tuner := core.NewTuner(eng.Clock, budget, order)
 		tuner.Seed = 7 // shuffle seed for the random order
-		res, err := tuner.Run(experiments.DGEMMCases(eng, space, 1))
+		res, err := tuner.Run(context.Background(), experiments.DGEMMCases(eng, space, 1))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +41,7 @@ func main() {
 	// space, evaluating only a fraction of it.
 	eng := bench.NewSimEngine(sys, experiments.DefaultSeed)
 	ls := core.NewLocalSearch(eng.Clock, budget, core.UnionSpaceNeighborhood(), 6, 11)
-	res, err := ls.Run(experiments.DGEMMCases(eng, space, 1))
+	res, err := ls.Run(context.Background(), experiments.DGEMMCases(eng, space, 1))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -78,7 +79,11 @@ func NewEvaluator(clock vclock.Clock, budget Budget) *Evaluator {
 // against the incumbent metric value best (use NoBest if none). The
 // returned outcome's Elapsed is measured on the evaluator's clock, so it
 // includes setup and warm-up cost — everything the search pays for.
-func (e *Evaluator) Evaluate(c Case, best float64) (*Outcome, error) {
+//
+// Cancelling ctx aborts the evaluation between kernel executions — after
+// at most one more Step — and returns ctx.Err(); the partial outcome is
+// discarded, never reported as a measurement.
+func (e *Evaluator) Evaluate(ctx context.Context, c Case, best float64) (*Outcome, error) {
 	b := e.Budget.normalized()
 	out := &Outcome{Key: c.Key(), Config: c.Config(), Describe: c.Describe(), Metric: c.Metric()}
 	watch := vclock.NewStopwatch(e.Clock)
@@ -88,6 +93,9 @@ func (e *Evaluator) Evaluate(c Case, best float64) (*Outcome, error) {
 		configMeasured time.Duration
 	)
 	for inv := 0; inv < b.Invocations; inv++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if b.Scope == ScopePerConfig && configMeasured >= b.MaxTime {
 			break // stop condition 1 at configuration scope
 		}
@@ -99,8 +107,11 @@ func (e *Evaluator) Evaluate(c Case, best float64) (*Outcome, error) {
 		if b.Scope == ScopePerConfig {
 			timeLeft = b.MaxTime - configMeasured
 		}
-		res := e.runIteration(c.Key(), inv, inst, b, best, timeLeft)
+		res := e.runIteration(ctx, c.Key(), inv, inst, b, best, timeLeft)
 		inst.Close()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out.Invocations = append(out.Invocations, res)
 		out.TotalSamples += res.Samples
 		configMeasured += res.Measured
@@ -130,7 +141,7 @@ func (e *Evaluator) Evaluate(c Case, best float64) (*Outcome, error) {
 // timeLeft is the remaining measured-time allowance for this invocation
 // (already scoped by the caller). At least one iteration always runs, so
 // every invocation produces a mean.
-func (e *Evaluator) runIteration(key string, invocation int, inst Instance, b Budget, best float64, timeLeft time.Duration) InvocationResult {
+func (e *Evaluator) runIteration(ctx context.Context, key string, invocation int, inst Instance, b Budget, best float64, timeLeft time.Duration) InvocationResult {
 	inst.Warmup()
 
 	var (
@@ -145,6 +156,9 @@ func (e *Evaluator) runIteration(key string, invocation int, inst Instance, b Bu
 	}
 	work := inst.Work()
 	for count := 0; ; {
+		if ctx.Err() != nil {
+			break // Evaluate discards the partial outcome and reports ctx.Err()
+		}
 		if count >= b.MaxIterations {
 			reason = StopMaxCount // stop condition 2
 			break

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -74,7 +75,7 @@ func TestEvaluatorSamplerWiring(t *testing.T) {
 	b.MaxIterations = 5
 	e := NewEvaluator(clock, b)
 	e.Sampler = buf
-	out, err := e.Evaluate(constantCase(clock, time.Millisecond), NoBest)
+	out, err := e.Evaluate(context.Background(), constantCase(clock, time.Millisecond), NoBest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestSteadyStateExcludesRamp(t *testing.T) {
 		b.SteadyWindow = 8
 		b.SteadyThreshold = 0.01
 		e := NewEvaluator(clock, b)
-		out, err := e.Evaluate(c, best)
+		out, err := e.Evaluate(context.Background(), c, best)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestSteadyStateFallbackWhenNeverSteady(t *testing.T) {
 	b.UseSteadyState = true
 	b.SteadyThreshold = 1e-9 // unreachable
 	e := NewEvaluator(clock, b)
-	out, err := e.Evaluate(c, NoBest)
+	out, err := e.Evaluate(context.Background(), c, NoBest)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rooftune/internal/bench"
@@ -109,7 +110,7 @@ func NewLocalSearch(clock vclock.Clock, budget bench.Budget, hood Neighborhood, 
 
 // Run climbs from each restart point, memoising evaluations: a case is
 // measured at most once even if multiple climbs visit it.
-func (l *LocalSearch) Run(cases []bench.Case) (*Result, error) {
+func (l *LocalSearch) Run(ctx context.Context, cases []bench.Case) (*Result, error) {
 	if len(cases) == 0 {
 		return nil, fmt.Errorf("core: empty search space")
 	}
@@ -123,7 +124,7 @@ func (l *LocalSearch) Run(cases []bench.Case) (*Result, error) {
 		if o, ok := memo[i]; ok {
 			return o, nil
 		}
-		o, err := l.Evaluator.Evaluate(cases[i], best)
+		o, err := l.Evaluator.Evaluate(ctx, cases[i], best)
 		if err != nil {
 			return nil, err
 		}

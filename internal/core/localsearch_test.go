@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -88,7 +89,7 @@ func TestLocalSearchFindsUnimodalPeak(t *testing.T) {
 	cases := makeCases(clock, vals)
 	g := GridNeighborhood{AxisSizes: []int{4, 4, 4}}
 	ls := NewLocalSearch(clock, quickBudget(), g, 1, 7)
-	res, err := ls.Run(cases)
+	res, err := ls.Run(context.Background(), cases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestLocalSearchMemoises(t *testing.T) {
 	g := GridNeighborhood{AxisSizes: []int{4, 4, 4}}
 	// Many restarts revisit cells; All must stay deduplicated.
 	ls := NewLocalSearch(clock, quickBudget(), g, 20, 3)
-	res, err := ls.Run(cases)
+	res, err := ls.Run(context.Background(), cases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestLocalSearchMemoises(t *testing.T) {
 
 func TestLocalSearchEmptySpace(t *testing.T) {
 	ls := NewLocalSearch(vclock.NewVirtual(), quickBudget(), GridNeighborhood{AxisSizes: []int{1}}, 1, 1)
-	if _, err := ls.Run(nil); err == nil {
+	if _, err := ls.Run(context.Background(), nil); err == nil {
 		t.Fatal("empty space must error")
 	}
 }
@@ -135,7 +136,7 @@ func TestLocalSearchMaxSteps(t *testing.T) {
 	g := GridNeighborhood{AxisSizes: []int{4, 4, 4}}
 	ls := NewLocalSearch(clock, quickBudget(), g, 1, 1)
 	ls.MaxSteps = 1 // a single step cannot reach the far corner...
-	res, err := ls.Run(cases)
+	res, err := ls.Run(context.Background(), cases)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestLocalSearchOnSimulatedSystem(t *testing.T) {
 		cases[i] = eng.DGEMMCase(d.N, d.M, d.K, 1)
 	}
 	ls := NewLocalSearch(eng.Clock, budget, UnionSpaceNeighborhood(), 6, 11)
-	res, err := ls.Run(cases)
+	res, err := ls.Run(context.Background(), cases)
 	if err != nil {
 		t.Fatal(err)
 	}

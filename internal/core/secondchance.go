@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -47,14 +48,14 @@ type SecondChanceResult struct {
 // near-miss pruned configurations a second, conservative evaluation.
 // The engine cost of the second pass accrues on the same clock, so the
 // combined Result.Elapsed remains the true total search time.
-func (t *Tuner) RunWithSecondChance(cases []bench.Case, sc SecondChance) (*SecondChanceResult, error) {
+func (t *Tuner) RunWithSecondChance(ctx context.Context, cases []bench.Case, sc SecondChance) (*SecondChanceResult, error) {
 	if sc.Margin <= 0 {
 		sc.Margin = 0.25
 	}
 	if sc.Budget.Invocations == 0 {
 		sc.Budget = DefaultSecondChance().Budget
 	}
-	first, err := t.Run(cases)
+	first, err := t.Run(ctx, cases)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func (t *Tuner) RunWithSecondChance(cases []bench.Case, sc SecondChance) (*Secon
 		if !ok {
 			continue
 		}
-		re, err := reEval.Evaluate(c, bench.NoBest)
+		re, err := reEval.Evaluate(ctx, c, bench.NoBest)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -62,7 +63,7 @@ func TestSecondChancePromotesLateBloomer(t *testing.T) {
 	tuner := NewTuner(clock, budget, OrderForward)
 
 	// Plain run: the bloomer's truncated mean loses.
-	plain, err := tuner.Run([]bench.Case{incumbent, bloomer})
+	plain, err := tuner.Run(context.Background(), []bench.Case{incumbent, bloomer})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSecondChancePromotesLateBloomer(t *testing.T) {
 	tuner2 := NewTuner(clock2, budget, OrderForward)
 	sc := DefaultSecondChance()
 	sc.Budget.Invocations = 2
-	res, err := tuner2.RunWithSecondChance([]bench.Case{incumbent2, bloomer2}, sc)
+	res, err := tuner2.RunWithSecondChance(context.Background(), []bench.Case{incumbent2, bloomer2}, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSecondChanceNoCandidates(t *testing.T) {
 	cases := makeCases(clock, []float64{1, 5, 3})
 	budget := quickBudget() // no bounds: nothing pruned, no candidates
 	tuner := NewTuner(clock, budget, OrderForward)
-	res, err := tuner.RunWithSecondChance(cases, DefaultSecondChance())
+	res, err := tuner.RunWithSecondChance(context.Background(), cases, DefaultSecondChance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSecondChanceMarginFilters(t *testing.T) {
 	b.UseOuterBound = true
 	tuner := NewTuner(clock, b, OrderForward)
 	sc := SecondChance{Margin: 0.05, Budget: quickBudget()}
-	res, err := tuner.RunWithSecondChance(makeCases(clock, values), sc)
+	res, err := tuner.RunWithSecondChance(context.Background(), makeCases(clock, values), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestSecondChanceMarginFilters(t *testing.T) {
 	clock2 := vclock.NewVirtual()
 	tuner2 := NewTuner(clock2, b, OrderForward)
 	sc2 := SecondChance{Margin: 0.999, Budget: quickBudget()}
-	res2, err := tuner2.RunWithSecondChance(makeCases(clock2, values), sc2)
+	res2, err := tuner2.RunWithSecondChance(context.Background(), makeCases(clock2, values), sc2)
 	if err != nil {
 		t.Fatal(err)
 	}

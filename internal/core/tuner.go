@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -86,9 +87,10 @@ func NewTuner(clock vclock.Clock, budget bench.Budget, order Order) *Tuner {
 
 // Run evaluates every case in the tuner's order, carrying the incumbent
 // best value into each evaluation so stop condition 4 can prune against
-// it. It returns an error only on engine failure; statistical pruning is
-// not an error.
-func (t *Tuner) Run(cases []bench.Case) (*Result, error) {
+// it. It returns an error only on engine failure or context cancellation;
+// statistical pruning is not an error. A canceled ctx aborts the search
+// between kernel executions and returns ctx.Err().
+func (t *Tuner) Run(ctx context.Context, cases []bench.Case) (*Result, error) {
 	if len(cases) == 0 {
 		return nil, fmt.Errorf("core: empty search space")
 	}
@@ -97,7 +99,7 @@ func (t *Tuner) Run(cases []bench.Case) (*Result, error) {
 	watch := vclock.NewStopwatch(t.Evaluator.Clock)
 	best := bench.NoBest
 	for _, c := range ordered {
-		out, err := t.Evaluator.Evaluate(c, best)
+		out, err := t.Evaluator.Evaluate(ctx, c, best)
 		if err != nil {
 			return nil, err
 		}

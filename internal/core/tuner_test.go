@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -58,7 +59,7 @@ func TestTunerFindsMaximum(t *testing.T) {
 	clock := vclock.NewVirtual()
 	values := []float64{3, 9, 1, 7, 9.5, 2}
 	tuner := NewTuner(clock, quickBudget(), OrderForward)
-	res, err := tuner.Run(makeCases(clock, values))
+	res, err := tuner.Run(context.Background(), makeCases(clock, values))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestTunerOrderings(t *testing.T) {
 	var visited []string
 	tuner := NewTuner(clock, quickBudget(), OrderReverse)
 	tuner.OnOutcome = func(o *bench.Outcome) { visited = append(visited, o.Key) }
-	if _, err := tuner.Run(makeCases(clock, values)); err != nil {
+	if _, err := tuner.Run(context.Background(), makeCases(clock, values)); err != nil {
 		t.Fatal(err)
 	}
 	if visited[0] != "case-3" || visited[3] != "case-0" {
@@ -90,7 +91,7 @@ func TestTunerOrderings(t *testing.T) {
 	tuner = NewTuner(clock, quickBudget(), OrderRandom)
 	tuner.Seed = 3
 	tuner.OnOutcome = func(o *bench.Outcome) { visited = append(visited, o.Key) }
-	if _, err := tuner.Run(makeCases(clock, values)); err != nil {
+	if _, err := tuner.Run(context.Background(), makeCases(clock, values)); err != nil {
 		t.Fatal(err)
 	}
 	seen := map[string]bool{}
@@ -106,7 +107,7 @@ func TestTunerOrderings(t *testing.T) {
 	tuner2 := NewTuner(clock, quickBudget(), OrderRandom)
 	tuner2.Seed = 3
 	tuner2.OnOutcome = func(o *bench.Outcome) { again = append(again, o.Key) }
-	if _, err := tuner2.Run(makeCases(clock, values)); err != nil {
+	if _, err := tuner2.Run(context.Background(), makeCases(clock, values)); err != nil {
 		t.Fatal(err)
 	}
 	for i := range visited {
@@ -121,7 +122,7 @@ func TestTunerOrderIndependentOptimum(t *testing.T) {
 	for _, order := range []Order{OrderForward, OrderReverse, OrderRandom} {
 		clock := vclock.NewVirtual()
 		tuner := NewTuner(clock, quickBudget(), order)
-		res, err := tuner.Run(makeCases(clock, values))
+		res, err := tuner.Run(context.Background(), makeCases(clock, values))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestTunerPruningWithOuterBound(t *testing.T) {
 	b.Invocations = 6
 	b.UseOuterBound = true
 	tuner := NewTuner(clock, b, OrderForward)
-	res, err := tuner.Run(makeCases(clock, values))
+	res, err := tuner.Run(context.Background(), makeCases(clock, values))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTunerSamplesAndElapsed(t *testing.T) {
 	clock := vclock.NewVirtual()
 	values := []float64{1, 2}
 	tuner := NewTuner(clock, quickBudget(), OrderForward)
-	res, err := tuner.Run(makeCases(clock, values))
+	res, err := tuner.Run(context.Background(), makeCases(clock, values))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestTunerSamplesAndElapsed(t *testing.T) {
 
 func TestTunerEmptySpace(t *testing.T) {
 	tuner := NewTuner(vclock.NewVirtual(), quickBudget(), OrderForward)
-	if _, err := tuner.Run(nil); err == nil {
+	if _, err := tuner.Run(context.Background(), nil); err == nil {
 		t.Fatal("empty space must error")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rooftune/internal/bench"
@@ -43,7 +44,7 @@ func (r *Runner) ConstraintStudy() ([]ConstraintStudyRow, error) {
 		for _, sp := range spaces {
 			eng := bench.NewSimEngine(sys, r.Seed)
 			tuner := core.NewTuner(eng.Clock, budget, core.OrderForward)
-			res, err := tuner.Run(DGEMMCases(eng, sp.space, 1))
+			res, err := tuner.Run(context.Background(), DGEMMCases(eng, sp.space, 1))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: constraint study %s/%s: %w", sys.Name, sp.name, err)
 			}
@@ -131,7 +132,7 @@ func (r *Runner) SecondChanceStudy() (*SecondChanceStudyRow, error) {
 	// Plain run (single-socket sweep, where the anomaly shows).
 	eng := bench.NewSimEngine(sys, r.Seed)
 	tuner := core.NewTuner(eng.Clock, tech.Budget, tech.Order)
-	plain, err := tuner.Run(DGEMMCases(eng, r.Space, 1))
+	plain, err := tuner.Run(context.Background(), DGEMMCases(eng, r.Space, 1))
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +144,7 @@ func (r *Runner) SecondChanceStudy() (*SecondChanceStudyRow, error) {
 	// Second-chance run on a fresh engine (same seed: identical noise).
 	eng2 := bench.NewSimEngine(sys, r.Seed)
 	tuner2 := core.NewTuner(eng2.Clock, tech.Budget, tech.Order)
-	fixed, err := tuner2.RunWithSecondChance(DGEMMCases(eng2, r.Space, 1), core.DefaultSecondChance())
+	fixed, err := tuner2.RunWithSecondChance(context.Background(), DGEMMCases(eng2, r.Space, 1), core.DefaultSecondChance())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -138,7 +139,7 @@ func (r *Runner) Fig6Data(sysName string) ([]Fig6Point, error) {
 
 	eng := bench.NewSimEngine(system, r.Seed)
 	tuner := core.NewTuner(eng.Clock, budget, core.OrderForward)
-	res, err := tuner.Run(DGEMMCases(eng, r.Space, 1))
+	res, err := tuner.Run(context.Background(), DGEMMCases(eng, r.Space, 1))
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -82,14 +83,14 @@ func (r *Runner) RunDGEMMTechnique(sys hw.System, tech core.Technique) (*DGEMMRu
 	run := &DGEMMRun{System: sys, Technique: tech}
 
 	t1 := core.NewTuner(eng.Clock, tech.Budget, tech.Order)
-	s1, err := t1.Run(DGEMMCases(eng, r.Space, 1))
+	s1, err := t1.Run(context.Background(), DGEMMCases(eng, r.Space, 1))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s S1 sweep: %w", sys.Name, err)
 	}
 	run.S1 = s1
 
 	t2 := core.NewTuner(eng.Clock, tech.Budget, tech.Order)
-	s2, err := t2.Run(DGEMMCases(eng, r.Space, sys.Sockets))
+	s2, err := t2.Run(context.Background(), DGEMMCases(eng, r.Space, sys.Sockets))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s S2 sweep: %w", sys.Name, err)
 	}
@@ -204,7 +205,7 @@ func (r *Runner) RunTriad(sys hw.System, budget bench.Budget) (*TriadRun, error)
 		run.Peaks[sockets] = map[TriadRegion]*bench.Outcome{}
 		for region, cases := range regions {
 			tuner := core.NewTuner(eng.Clock, budget, core.OrderForward)
-			res, err := tuner.Run(cases)
+			res, err := tuner.Run(context.Background(), cases)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s TRIAD %v S%d: %w", sys.Name, region, sockets, err)
 			}

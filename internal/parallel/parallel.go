@@ -6,9 +6,15 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
+
+// ErrClosed is returned by RunContext when the pool was closed before the
+// batch could be enqueued.
+var ErrClosed = errors.New("parallel: pool closed")
 
 // Range is a half-open index interval [Lo, Hi).
 type Range struct {
@@ -131,6 +137,29 @@ func (p *Pool) Run(n int, body func(lo, hi int)) bool {
 	p.closeMu.Unlock()
 	p.wg.Wait()
 	return true
+}
+
+// RunContext is Run with cancellation between partitions: a partition
+// whose task starts after ctx is done is skipped rather than executed, so
+// a large batch aborts after at most one in-flight partition per worker.
+// It always waits for the batch to drain before returning — no task ever
+// touches the partitioned data after RunContext returns — and reports
+// ctx.Err() if the context was canceled, ErrClosed if the pool was closed
+// before the batch could start.
+func (p *Pool) RunContext(ctx context.Context, n int, body func(lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ran := p.Run(n, func(lo, hi int) {
+		if ctx.Err() != nil {
+			return
+		}
+		body(lo, hi)
+	})
+	if !ran {
+		return ErrClosed
+	}
+	return ctx.Err()
 }
 
 // Close shuts the workers down once in-flight batches finish enqueueing.

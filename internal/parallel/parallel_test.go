@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -172,5 +174,67 @@ func TestPoolConcurrentRunAndClose(t *testing.T) {
 func TestDefaultThreadsPositive(t *testing.T) {
 	if DefaultThreads() < 1 {
 		t.Fatal("DefaultThreads must be >= 1")
+	}
+}
+
+func TestPoolRunContext(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	var ran atomic.Int64
+	if err := p.RunContext(context.Background(), 64, func(lo, hi int) {
+		ran.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d of 64 indices", ran.Load())
+	}
+
+	// A pre-canceled context runs nothing and reports the cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran.Store(0)
+	if err := p.RunContext(ctx, 64, func(lo, hi int) { ran.Add(int64(hi - lo)) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-canceled batch still ran %d indices", ran.Load())
+	}
+}
+
+func TestPoolRunContextCancelSkipsQueuedTask(t *testing.T) {
+	// Occupy the pool's only worker, queue a second batch behind it, then
+	// cancel before the worker frees up: the queued task must be skipped,
+	// not executed, and RunContext must still drain and report ctx.Err().
+	p := NewPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go p.Run(1, func(int, int) { close(started); <-release })
+	<-started
+
+	var ran atomic.Bool
+	errc := make(chan error, 1)
+	go func() { errc <- p.RunContext(ctx, 1, func(int, int) { ran.Store(true) }) }()
+	// Whether the second batch has enqueued yet or not, cancelling now is
+	// correct either way: pre-check or in-task skip, the body never runs.
+	cancel()
+	close(release)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("queued task ran after cancellation")
+	}
+}
+
+func TestPoolRunContextClosed(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	if err := p.RunContext(context.Background(), 8, func(int, int) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

@@ -12,6 +12,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -61,6 +62,20 @@ func (o *Outcome) Triad() (bench.TriadConfig, error) {
 	return cfg, nil
 }
 
+// Hooks observe sweep execution. Sweeps may run concurrently, so every
+// callback must be safe for concurrent use; all callbacks are optional.
+// They exist to drive live progress output (the session layer adapts them
+// into its public event stream) and carry no results — outcomes still
+// arrive only through Run's return value.
+type Hooks struct {
+	// SweepStarted fires when a sweep's search begins.
+	SweepStarted func(name string, cases int)
+	// CaseEvaluated fires after each configuration's evaluation.
+	CaseEvaluated func(sweep string, out *bench.Outcome)
+	// SweepWon fires when a sweep finishes with its winner.
+	SweepWon func(o *Outcome)
+}
+
 // Runner executes sweeps with a shared budget and traversal order.
 type Runner struct {
 	Budget bench.Budget
@@ -72,6 +87,8 @@ type Runner struct {
 	Serial bool
 	// Workers caps sweep-level concurrency (default GOMAXPROCS).
 	Workers int
+	// Hooks observe execution; see Hooks.
+	Hooks Hooks
 }
 
 // Run executes every spec and returns outcomes in spec order. Specs run
@@ -83,7 +100,12 @@ type Runner struct {
 // in-flight spec instead: skipping by a racy flag would make which error
 // surfaces depend on timing. An empty case list is an error, as is an
 // empty spec slice.
-func (r *Runner) Run(specs []Spec) ([]Outcome, error) {
+//
+// Cancelling ctx aborts the run: no new sweep starts, in-flight sweeps
+// stop between kernel executions, and Run reports an error satisfying
+// errors.Is(err, ctx.Err()). Worker goroutines are always joined before
+// Run returns — cancellation leaks nothing.
+func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sweep: no specs")
 	}
@@ -98,37 +120,54 @@ func (r *Runner) Run(specs []Spec) ([]Outcome, error) {
 	}
 	failFast := workers == 1
 	var failed atomic.Bool
-	parallel.For(len(specs), workers, func(lo, hi int) {
+	pool := parallel.NewPool(workers)
+	poolErr := pool.RunContext(ctx, len(specs), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			if failFast && failed.Load() {
 				return
 			}
-			outs[i], errs[i] = r.runOne(specs[i])
+			outs[i], errs[i] = r.runOne(ctx, specs[i])
 			if errs[i] != nil {
 				failed.Store(true)
 			}
 		}
 	})
+	pool.Close()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
+	if poolErr != nil {
+		return nil, fmt.Errorf("sweep: %w", poolErr)
+	}
 	return outs, nil
 }
 
-func (r *Runner) runOne(s Spec) (Outcome, error) {
+func (r *Runner) runOne(ctx context.Context, s Spec) (Outcome, error) {
 	if len(s.Cases) == 0 {
 		return Outcome{}, fmt.Errorf("sweep: %s: empty case list", s.Name)
 	}
+	if r.Hooks.SweepStarted != nil {
+		r.Hooks.SweepStarted(s.Name, len(s.Cases))
+	}
 	tuner := core.NewTuner(s.Clock, r.Budget, r.Order)
-	res, err := tuner.Run(s.Cases)
+	if r.Hooks.CaseEvaluated != nil {
+		tuner.OnOutcome = func(out *bench.Outcome) { r.Hooks.CaseEvaluated(s.Name, out) }
+	}
+	res, err := tuner.Run(ctx, s.Cases)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sweep: %s: %w", s.Name, err)
 	}
 	out := Outcome{Name: s.Name, Result: res}
 	if res.Best != nil {
 		out.Best = res.Best.Config
+	}
+	if r.Hooks.SweepWon != nil {
+		r.Hooks.SweepWon(&out)
 	}
 	return out, nil
 }

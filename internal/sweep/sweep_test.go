@@ -1,8 +1,11 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -59,11 +62,11 @@ func TestRunParallelDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := testRunner(true).Run(buildSpecs(t, sys, 1021))
+	serial, err := testRunner(true).Run(context.Background(), buildSpecs(t, sys, 1021))
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := testRunner(false).Run(buildSpecs(t, sys, 1021))
+	parallel, err := testRunner(false).Run(context.Background(), buildSpecs(t, sys, 1021))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +83,7 @@ func TestRunTypedWinners(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs, err := testRunner(false).Run(buildSpecs(t, sys, 1021))
+	outs, err := testRunner(false).Run(context.Background(), buildSpecs(t, sys, 1021))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +117,11 @@ func TestRunTypedWinners(t *testing.T) {
 }
 
 func TestRunEmptySpecs(t *testing.T) {
-	if _, err := testRunner(false).Run(nil); err == nil {
+	if _, err := testRunner(false).Run(context.Background(), nil); err == nil {
 		t.Fatal("no specs must error")
 	}
 	spec := Spec{Name: "empty", Clock: vclock.NewVirtual()}
-	if _, err := testRunner(false).Run([]Spec{spec}); err == nil {
+	if _, err := testRunner(false).Run(context.Background(), []Spec{spec}); err == nil {
 		t.Fatal("empty case list must error")
 	}
 }
@@ -139,7 +142,7 @@ func TestRunErrorPropagation(t *testing.T) {
 		Clock: vclock.NewVirtual(),
 		Cases: []bench.Case{failingCase{}},
 	}}
-	_, err := testRunner(false).Run(specs)
+	_, err := testRunner(false).Run(context.Background(), specs)
 	if err == nil {
 		t.Fatal("engine failure must propagate")
 	}
@@ -155,7 +158,7 @@ func TestRunSerialFailsFast(t *testing.T) {
 		{Name: "broken", Clock: vclock.NewVirtual(), Cases: []bench.Case{failingCase{}}},
 		{Name: "after", Clock: eng.Clock, Cases: []bench.Case{eng.DGEMMCase(512, 512, 128, 1)}},
 	}
-	if _, err := testRunner(true).Run(specs); err == nil {
+	if _, err := testRunner(true).Run(context.Background(), specs); err == nil {
 		t.Fatal("engine failure must propagate")
 	}
 	// Serial execution must not keep benchmarking doomed sweeps after the
@@ -170,7 +173,7 @@ func TestOutcomeElapsedAccountsSweepCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs, err := testRunner(true).Run(buildSpecs(t, sys, 1021))
+	outs, err := testRunner(true).Run(context.Background(), buildSpecs(t, sys, 1021))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,5 +186,92 @@ func TestOutcomeElapsedAccountsSweepCost(t *testing.T) {
 	}
 	if total <= 0 {
 		t.Fatal("total sweep time must be positive virtual time")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, serial := range []bool{true, false} {
+		ctx, cancel := context.WithCancel(context.Background())
+		r := testRunner(serial)
+		var once sync.Once
+		r.Hooks.CaseEvaluated = func(string, *bench.Outcome) { once.Do(cancel) }
+		_, err := r.Run(ctx, buildSpecs(t, sys, 1021))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("serial=%v: err = %v, want context.Canceled", serial, err)
+		}
+		cancel()
+	}
+}
+
+func TestRunPreCanceled(t *testing.T) {
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := buildSpecs(t, sys, 1021)
+	if _, err := testRunner(false).Run(ctx, specs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Nothing may have run: every engine clock is still at zero.
+	for _, s := range specs {
+		if s.Clock.Now() != 0 {
+			t.Fatalf("sweep %s ran under a pre-canceled context", s.Name)
+		}
+	}
+}
+
+func TestRunHooks(t *testing.T) {
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu      sync.Mutex
+		started []string
+		cases   int
+		won     []string
+	)
+	r := testRunner(false)
+	r.Hooks = Hooks{
+		SweepStarted: func(name string, n int) {
+			mu.Lock()
+			defer mu.Unlock()
+			started = append(started, name)
+			if n <= 0 {
+				t.Errorf("sweep %s started with %d cases", name, n)
+			}
+		},
+		CaseEvaluated: func(name string, out *bench.Outcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			cases++
+			if out == nil || out.Describe == "" {
+				t.Errorf("sweep %s delivered a malformed outcome", name)
+			}
+		},
+		SweepWon: func(o *Outcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			won = append(won, o.Name)
+			if o.Best == nil {
+				t.Errorf("sweep %s won without a typed config", o.Name)
+			}
+		},
+	}
+	specs := buildSpecs(t, sys, 1021)
+	if _, err := r.Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != len(specs) || len(won) != len(specs) {
+		t.Fatalf("started %d, won %d, want %d each", len(started), len(won), len(specs))
+	}
+	if cases < len(specs) {
+		t.Fatalf("case hook fired %d times for %d sweeps", cases, len(specs))
 	}
 }

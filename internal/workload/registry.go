@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps workload names to implementations. The built-ins
+// (dgemm, triad) self-register from their packages' init functions; user
+// packages register through rooftune.RegisterWorkload.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a workload under its Name. Registering a nil workload,
+// an empty name, or a name that is already taken is an error: silently
+// replacing a workload would change what an unrelated session measures.
+func Register(w Workload) error {
+	if w == nil {
+		return fmt.Errorf("workload: Register(nil)")
+	}
+	name := w.Name()
+	if name == "" {
+		return fmt.Errorf("workload: %T has an empty name", w)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("workload: %q already registered", name)
+	}
+	registry[name] = w
+	return nil
+}
+
+// MustRegister is Register that panics on error, for init-time use.
+func MustRegister(w Workload) {
+	if err := Register(w); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (registered: %v)", name, namesLocked())
+	}
+	return w, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

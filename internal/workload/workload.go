@@ -1,0 +1,114 @@
+// Package workload defines the pluggable benchmark contract of the
+// public API: a Workload turns a tuning target (a simulated system or the
+// native host) and the session's resolved parameters into the independent
+// autotuning sweeps that measure one family of roofline points.
+//
+// The package exists below the repository root so that workload
+// implementations — internal/workloads/dgemm, internal/workloads/triad,
+// and any future SpMV/stencil/per-cache-level package — can implement the
+// interface without importing package rooftune (which would cycle: the
+// root registers the built-ins). The root package re-exports every type
+// here under the same name via type aliases, so rooftune.Workload and
+// workload.Workload are one type.
+package workload
+
+import (
+	"fmt"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/sweep"
+	"rooftune/internal/units"
+)
+
+// Target identifies what a workload plans sweeps for. Exactly one of Sys
+// and Native is set: Sys for simulated builds (each sweep should create
+// its own bench.SimEngine so sweeps stay schedulable in any order),
+// Native for native builds (the host is the engine; there is nothing to
+// split, and all sweeps share it).
+type Target struct {
+	Sys    *hw.System
+	Native *bench.NativeEngine
+}
+
+// IsNative reports whether the target is the native host.
+func (t Target) IsNative() bool { return t.Native != nil }
+
+// Params are the session's resolved tuning parameters, passed to every
+// workload's Plan. All fields are defaulted and validated by rooftune.New
+// before planning starts.
+type Params struct {
+	// Seed drives the simulated engines' noise streams.
+	Seed uint64
+	// Space is the DGEMM search space.
+	Space []core.Dims
+	// TriadLo and TriadHi bound the TRIAD working-set sweep.
+	TriadLo, TriadHi units.ByteSize
+	// AssumedLLC is the native build's last-level-cache estimate used to
+	// split memory sweeps into cache and DRAM residency regions.
+	AssumedLLC units.ByteSize
+	// Threads is the native engines' parallelism.
+	Threads int
+}
+
+// Point says how one sweep's winning outcome lands in the session Result:
+// as a compute ceiling (rooftune.ComputePoint) or a bandwidth ceiling
+// (rooftune.MemoryPoint). It is the public successor of the root
+// package's former unexported pointMeta.
+type Point struct {
+	// Compute selects the result side: true for a ComputePoint, false for
+	// a MemoryPoint.
+	Compute bool
+	// Sockets is the socket count the sweep tuned (1 for native builds).
+	Sockets int
+	// Region names the memory residency region ("DRAM", "L3", "cache",
+	// ...); empty for compute points.
+	Region string
+	// TheoreticalFlops is Eq. 9's peak for compute sweeps on simulated
+	// systems (zero for native builds, where no spec is assumed).
+	TheoreticalFlops units.Flops
+	// TheoreticalBandwidth is Eq. 11's peak for simulated DRAM sweeps
+	// (zero otherwise).
+	TheoreticalBandwidth units.Bandwidth
+}
+
+// Planned pairs one sweep spec with the point its winner becomes.
+type Planned struct {
+	Spec  sweep.Spec
+	Point Point
+}
+
+// Plan is a workload's full contribution to a session run.
+type Plan struct {
+	Sweeps []Planned
+	// Warnings name planned-but-empty sweeps: regions whose case list
+	// filtered to nothing under the session's parameters. The session
+	// surfaces each as a progress event and on Result.Warnings, so a
+	// missing roofline ceiling is never silent.
+	Warnings []string
+}
+
+// Add appends one sweep to the plan.
+func (p *Plan) Add(s sweep.Spec, pt Point) {
+	p.Sweeps = append(p.Sweeps, Planned{Spec: s, Point: pt})
+}
+
+// Warnf records one formatted warning.
+func (p *Plan) Warnf(format string, args ...any) {
+	p.Warnings = append(p.Warnings, fmt.Sprintf(format, args...))
+}
+
+// Workload produces the autotuning sweeps of one benchmark family.
+// Implementations must be safe for concurrent use by multiple sessions:
+// Plan is a pure function of its arguments (engines are created inside
+// the plan, never stored on the workload).
+type Workload interface {
+	// Name is the workload's registry key, e.g. "dgemm" or "triad".
+	Name() string
+	// Plan builds the workload's sweeps for the target under the given
+	// parameters. Plans whose regions filter empty must record a warning
+	// naming the region rather than silently dropping the sweep. An error
+	// aborts the session before anything runs.
+	Plan(t Target, p Params) (Plan, error)
+}

@@ -1,0 +1,58 @@
+// Package dgemm is the DGEMM compute workload: it plans the matrix-
+// multiplication sweeps whose tuned winners become the roofline's compute
+// ceilings (one per socket configuration on simulated systems, one host
+// sweep on native builds). It registers itself as "dgemm".
+package dgemm
+
+import (
+	"fmt"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/sweep"
+	"rooftune/internal/workload"
+)
+
+func init() { workload.MustRegister(Workload{}) }
+
+// Workload implements workload.Workload for DGEMM.
+type Workload struct{}
+
+// Name implements workload.Workload.
+func (Workload) Name() string { return "dgemm" }
+
+// Plan builds one compute sweep per socket configuration (simulated) or a
+// single host sweep (native). Every simulated sweep gets its own engine:
+// the calibrated models derive each sample by hashing (seed,
+// configuration, invocation), so splitting the engine changes no
+// measurement while making the sweeps schedulable in any order.
+func (Workload) Plan(t workload.Target, p workload.Params) (workload.Plan, error) {
+	var plan workload.Plan
+	if len(p.Space) == 0 {
+		return plan, fmt.Errorf("dgemm: empty search space")
+	}
+	if t.IsNative() {
+		eng := t.Native
+		cases := make([]bench.Case, len(p.Space))
+		for i, d := range p.Space {
+			cases[i] = eng.DGEMMCase(d.N, d.M, d.K)
+		}
+		plan.Add(
+			sweep.Spec{Name: "native DGEMM", Clock: eng.Clock, Cases: cases},
+			workload.Point{Compute: true, Sockets: 1},
+		)
+		return plan, nil
+	}
+	sys := *t.Sys
+	for _, sockets := range sys.SocketConfigs() {
+		eng := bench.NewSimEngine(sys, p.Seed)
+		cases := make([]bench.Case, len(p.Space))
+		for i, d := range p.Space {
+			cases[i] = eng.DGEMMCase(d.N, d.M, d.K, sockets)
+		}
+		plan.Add(
+			sweep.Spec{Name: fmt.Sprintf("DGEMM (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
+			workload.Point{Compute: true, Sockets: sockets, TheoreticalFlops: sys.TheoreticalFlops(sockets)},
+		)
+	}
+	return plan, nil
+}

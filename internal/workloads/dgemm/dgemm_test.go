@@ -1,0 +1,82 @@
+package dgemm
+
+import (
+	"strings"
+	"testing"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/workload"
+)
+
+func testParams() workload.Params {
+	return workload.Params{
+		Seed:  1021,
+		Space: []core.Dims{{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128}},
+	}
+}
+
+func TestPlanSimulatedShape(t *testing.T) {
+	sys, err := hw.Get("2650v4") // dual socket
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Workload{}.Plan(workload.Target{Sys: &sys}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", plan.Warnings)
+	}
+	if len(plan.Sweeps) != len(sys.SocketConfigs()) {
+		t.Fatalf("sweeps = %d, want one per socket config %v", len(plan.Sweeps), sys.SocketConfigs())
+	}
+	for i, pl := range plan.Sweeps {
+		sockets := sys.SocketConfigs()[i]
+		if !pl.Point.Compute || pl.Point.Sockets != sockets {
+			t.Fatalf("sweep %d point = %+v", i, pl.Point)
+		}
+		if pl.Point.TheoreticalFlops != sys.TheoreticalFlops(sockets) {
+			t.Fatalf("sweep %d theoretical = %v", i, pl.Point.TheoreticalFlops)
+		}
+		if len(pl.Spec.Cases) != 2 || pl.Spec.Clock == nil {
+			t.Fatalf("sweep %d spec malformed: %d cases", i, len(pl.Spec.Cases))
+		}
+		if !strings.Contains(pl.Spec.Name, "DGEMM") {
+			t.Fatalf("sweep %d name %q", i, pl.Spec.Name)
+		}
+	}
+	// Sweeps must not share a clock: independence is what makes them
+	// schedulable in any order.
+	if plan.Sweeps[0].Spec.Clock == plan.Sweeps[1].Spec.Clock {
+		t.Fatal("sweeps share a clock")
+	}
+}
+
+func TestPlanNativeShape(t *testing.T) {
+	eng := bench.NewNativeEngine(1)
+	plan, err := Workload{}.Plan(workload.Target{Native: eng}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Sweeps) != 1 {
+		t.Fatalf("native sweeps = %d", len(plan.Sweeps))
+	}
+	pl := plan.Sweeps[0]
+	if !pl.Point.Compute || pl.Point.Sockets != 1 || pl.Point.TheoreticalFlops != 0 {
+		t.Fatalf("native point = %+v", pl.Point)
+	}
+}
+
+func TestPlanEmptySpace(t *testing.T) {
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Space = nil
+	if _, err := (Workload{}).Plan(workload.Target{Sys: &sys}, p); err == nil {
+		t.Fatal("empty space must error")
+	}
+}

@@ -1,0 +1,114 @@
+// Package triad is the STREAM TRIAD memory workload: it plans the
+// working-set sweeps whose tuned winners become the roofline's bandwidth
+// ceilings, split into cache-residency regions (L3/DRAM on simulated
+// systems per the paper's §III-B; cache/DRAM around the assumed LLC on
+// native builds). It registers itself as "triad".
+package triad
+
+import (
+	"fmt"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/hw"
+	"rooftune/internal/sweep"
+	"rooftune/internal/units"
+	"rooftune/internal/workload"
+)
+
+func init() { workload.MustRegister(Workload{}) }
+
+// Workload implements workload.Workload for TRIAD.
+type Workload struct{}
+
+// Name implements workload.Workload.
+func (Workload) Name() string { return "triad" }
+
+// Plan builds one bandwidth sweep per (socket configuration x residency
+// region) on simulated systems, or one per residency region on the native
+// host. A region whose case list filters to empty under the session's
+// TriadLo/TriadHi bounds is recorded as a plan warning naming the region
+// — the roofline will miss that ceiling, and silence here previously hid
+// exactly that.
+func (Workload) Plan(t workload.Target, p workload.Params) (workload.Plan, error) {
+	if p.TriadLo > p.TriadHi {
+		return workload.Plan{}, fmt.Errorf("triad: working-set bounds inverted (lo %v > hi %v)", p.TriadLo, p.TriadHi)
+	}
+	if t.IsNative() {
+		return planNative(t.Native, p), nil
+	}
+	return planSimulated(*t.Sys, p), nil
+}
+
+func planSimulated(sys hw.System, p workload.Params) workload.Plan {
+	var plan workload.Plan
+	grid := units.TriadGridElements(units.WorkingSetGridDense(p.TriadLo, p.TriadHi, 4))
+	for _, sockets := range sys.SocketConfigs() {
+		aff := hw.AffinityClose
+		if sockets > 1 {
+			aff = hw.AffinitySpread
+		}
+		for _, region := range []struct {
+			name     string
+			min, max float64 // working-set bounds as multiples of L3
+		}{
+			{"L3", 0, 0.9},
+			{"DRAM", 4, 1e18},
+		} {
+			l3 := float64(sys.L3Total(sockets))
+			l2 := float64(sys.L2PerCore) * float64(sys.Cores(sockets))
+			eng := bench.NewSimEngine(sys, p.Seed)
+			var cases []bench.Case
+			for _, n := range grid {
+				w := units.TriadBytes(n)
+				if w <= l2 || w < region.min*l3 || w > region.max*l3 {
+					continue
+				}
+				cases = append(cases, eng.TriadCase(n, aff, sockets))
+			}
+			name := fmt.Sprintf("TRIAD %s (%d sockets)", region.name, sockets)
+			if len(cases) == 0 {
+				plan.Warnf("%s: no working-set sizes inside %v..%v fall in the %s residency region — its bandwidth ceiling will be missing",
+					name, p.TriadLo, p.TriadHi, region.name)
+				continue
+			}
+			pt := workload.Point{Sockets: sockets, Region: region.name}
+			if region.name == "DRAM" {
+				pt.TheoreticalBandwidth = sys.TheoreticalBandwidth(sockets)
+			}
+			plan.Add(sweep.Spec{Name: name, Clock: eng.Clock, Cases: cases}, pt)
+		}
+	}
+	return plan
+}
+
+func planNative(eng *bench.NativeEngine, p workload.Params) workload.Plan {
+	var plan workload.Plan
+	grid := units.TriadGridElements(units.WorkingSetGridDense(p.TriadLo, p.TriadHi, 2))
+	for _, region := range []struct {
+		name     string
+		min, max units.ByteSize
+	}{
+		{"cache", 0, p.AssumedLLC / 2},
+		{"DRAM", p.AssumedLLC * 4, 1 << 62},
+	} {
+		var cases []bench.Case
+		for _, n := range grid {
+			w := units.ByteSize(units.TriadBytes(n))
+			if w < region.min || w > region.max {
+				continue
+			}
+			cases = append(cases, eng.TriadCase(n))
+		}
+		name := "native TRIAD " + region.name
+		if len(cases) == 0 {
+			plan.Warnf("%s: no working-set sizes inside %v..%v fall in the %s residency region (assumed LLC %v) — its bandwidth ceiling will be missing",
+				name, p.TriadLo, p.TriadHi, region.name, p.AssumedLLC)
+			continue
+		}
+		plan.Add(
+			sweep.Spec{Name: name, Clock: eng.Clock, Cases: cases},
+			workload.Point{Sockets: 1, Region: region.name},
+		)
+	}
+	return plan
+}

@@ -3,102 +3,47 @@
 // "Autotuning Benchmarking Techniques: A Roofline Model Case Study"
 // (IPDPS workshops, 2021; arXiv:2103.08716).
 //
-// Two engines are available behind the same API:
+// A build is a Session: New configures it from functional options and
+// Run(ctx) executes it, honouring cancellation and streaming live
+// progress events if asked:
 //
-//   - Simulated: calibrated performance models of the paper's four Intel
-//     Xeon systems (and any user-defined hw.System). Deterministic given
-//     a seed; this is what reproduces the paper's tables and figures.
-//   - Native: real pure-Go DGEMM and STREAM TRIAD kernels measured with
-//     the wall clock, producing a genuine roofline of the host.
-//
-// The returned Result contains the tuned peak compute and bandwidth
-// values, the winning configurations, and a renderable roofline model:
-//
-//	res, err := rooftune.Simulated("Gold 6148", nil)
+//	sess, err := rooftune.New(rooftune.WithSystem("Gold 6148"))
+//	...
+//	res, err := sess.Run(ctx)
 //	...
 //	fmt.Println(res.Roofline.RenderASCII(72, 20))
+//
+// Two engines are available behind the same API:
+//
+//   - WithSystem / WithSystemSpec: calibrated performance models of the
+//     paper's four Intel Xeon systems (and any user-defined hw.System).
+//     Deterministic given a seed; this is what reproduces the paper's
+//     tables and figures.
+//   - WithNative: real pure-Go DGEMM and STREAM TRIAD kernels measured
+//     with the wall clock, producing a genuine roofline of the host.
+//
+// The benchmarks themselves are pluggable Workloads. A Workload turns
+// the session's target and parameters into autotuning sweeps plus the
+// Point metadata saying how each winner lands in the Result; DGEMM and
+// TRIAD are simply the two built-in registrations, and new benchmark
+// families (SpMV, stencils, per-cache-level TRIAD regions) are additive
+// packages — RegisterWorkload plus WithWorkloads, no edits here. See the
+// Workload type and examples/custom-workload for a complete minimal
+// implementation.
+//
+// The returned Result contains the tuned peak compute and bandwidth
+// values, the winning configurations, and a renderable roofline model.
 package rooftune
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
-	"rooftune/internal/bench"
 	"rooftune/internal/core"
-	"rooftune/internal/hw"
 	"rooftune/internal/roofline"
-	"rooftune/internal/sweep"
 	"rooftune/internal/units"
 )
-
-// Options configures a roofline build. The zero value (or nil) means:
-// paper defaults for simulated builds, quick defaults for native builds.
-type Options struct {
-	// Seed drives the simulated engines' noise streams (default 1021).
-	Seed uint64
-	// Budget is the evaluation budget; defaults to Table I with the
-	// paper's best technique (Confidence + Inner + Outer bounds).
-	Budget *bench.Budget
-	// Space is the DGEMM search space (default: the paper's union space
-	// for simulated builds, a laptop-scale space for native builds).
-	Space []core.Dims
-	// Threads is the native engines' parallelism (default GOMAXPROCS).
-	Threads int
-	// AssumedLLC is the native build's last-level-cache estimate used to
-	// split the TRIAD sweep into cache and DRAM regions (default 32 MiB).
-	AssumedLLC units.ByteSize
-	// TriadLo/TriadHi bound the TRIAD working-set sweep (default: the
-	// paper's 3 KiB .. 768 MiB for simulated builds; 3 KiB .. 256 MiB
-	// native).
-	TriadLo, TriadHi units.ByteSize
-	// Serial disables the concurrent sweep execution of simulated builds.
-	// Every sweep owns its engine, clock and noise streams, so parallel
-	// results are bit-identical to serial ones (asserted by
-	// TestSimulatedParallelDeterminism); Serial exists for debugging.
-	// Native builds are always serial: concurrent wall-clock measurement
-	// would contend on the host.
-	Serial bool
-}
-
-func (o *Options) withDefaults(native bool) Options {
-	var out Options
-	if o != nil {
-		out = *o
-	}
-	if out.Seed == 0 {
-		out.Seed = 1021
-	}
-	if out.Budget == nil {
-		b := bench.DefaultBudget().WithFlags(true, true, true)
-		if native {
-			b.Invocations = 3
-			b.MaxIterations = 30
-			b.MaxTime = 2 * time.Second
-		}
-		out.Budget = &b
-	}
-	if out.Space == nil {
-		if native {
-			out.Space = NativeQuickSpace()
-		} else {
-			out.Space = core.UnionDGEMMSpace()
-		}
-	}
-	if out.AssumedLLC == 0 {
-		out.AssumedLLC = 32 * units.MiB
-	}
-	if out.TriadLo == 0 {
-		out.TriadLo = 3 * units.KiB
-	}
-	if out.TriadHi == 0 {
-		if native {
-			out.TriadHi = 256 * units.MiB
-		} else {
-			out.TriadHi = 768 * units.MiB
-		}
-	}
-	return out
-}
 
 // NativeQuickSpace is a DGEMM search space sized for interactive native
 // runs: large enough to exercise cache blocking, small enough to finish
@@ -145,201 +90,11 @@ type Result struct {
 	// SearchTime is the total tuning cost: virtual seconds for simulated
 	// engines, wall-clock for native.
 	SearchTime time.Duration
-}
-
-// Simulated autotunes DGEMM and TRIAD on the named system's calibrated
-// models and assembles the roofline. Known names: "2650v4", "2695v4",
-// "Gold 6132", "Gold 6148", "Silver 4110", plus anything registered via
-// hw.Register.
-func Simulated(systemName string, opt *Options) (*Result, error) {
-	sys, err := hw.Get(systemName)
-	if err != nil {
-		return nil, err
-	}
-	return SimulatedSystem(sys, opt)
-}
-
-// SimulatedSystem is Simulated for an explicit system description. The
-// independent sweeps (socket configurations x residency regions) run
-// concurrently, each on its own engine, clock and noise streams; results
-// are bit-identical to a serial run (Options.Serial).
-func SimulatedSystem(sys hw.System, opt *Options) (*Result, error) {
-	o := opt.withDefaults(false)
-	runner := &sweep.Runner{Budget: *o.Budget, Order: core.OrderForward, Serial: o.Serial}
-	res := &Result{SystemName: sys.Name, Engine: bench.SimEngineName(sys)}
-	return assembleResult(res, planSimulated(sys, o), runner)
-}
-
-// Native autotunes the real Go kernels on the host machine. Sweeps always
-// run serially: concurrent wall-clock measurement would contend on the
-// host and corrupt every sample.
-func Native(opt *Options) (*Result, error) {
-	o := opt.withDefaults(true)
-	eng := bench.NewNativeEngine(o.Threads)
-	runner := &sweep.Runner{Budget: *o.Budget, Order: core.OrderForward, Serial: true}
-	res := &Result{SystemName: "host", Engine: eng.Name()}
-	return assembleResult(res, planNative(eng, o), runner)
-}
-
-// sweepPlan pairs sweep specs with the metadata needed to turn their
-// typed winners into Result points. specs[i] and metas[i] describe the
-// same sweep; spec order is Compute-point order then Memory-point order.
-type sweepPlan struct {
-	specs []sweep.Spec
-	metas []pointMeta
-}
-
-// pointMeta says how one sweep's outcome lands in the Result.
-type pointMeta struct {
-	compute   bool // true: ComputePoint; false: MemoryPoint
-	sockets   int
-	region    string
-	theoFlops units.Flops     // Eq. 9 peak (simulated compute sweeps)
-	theoBW    units.Bandwidth // Eq. 11 peak (simulated DRAM sweeps)
-}
-
-func (p *sweepPlan) add(s sweep.Spec, m pointMeta) {
-	p.specs = append(p.specs, s)
-	p.metas = append(p.metas, m)
-}
-
-// planSimulated builds the simulated build's sweeps. Every sweep gets its
-// own engine: the calibrated models derive each sample by hashing
-// (seed, configuration, invocation), so splitting the engine changes no
-// measurement while making the sweeps schedulable in any order.
-func planSimulated(sys hw.System, o Options) *sweepPlan {
-	p := &sweepPlan{}
-	for _, sockets := range sys.SocketConfigs() {
-		eng := bench.NewSimEngine(sys, o.Seed)
-		cases := make([]bench.Case, len(o.Space))
-		for i, d := range o.Space {
-			cases[i] = eng.DGEMMCase(d.N, d.M, d.K, sockets)
-		}
-		p.add(
-			sweep.Spec{Name: fmt.Sprintf("DGEMM (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
-			pointMeta{compute: true, sockets: sockets, theoFlops: sys.TheoreticalFlops(sockets)},
-		)
-	}
-
-	grid := units.TriadGridElements(units.WorkingSetGridDense(o.TriadLo, o.TriadHi, 4))
-	for _, sockets := range sys.SocketConfigs() {
-		aff := hw.AffinityClose
-		if sockets > 1 {
-			aff = hw.AffinitySpread
-		}
-		for _, region := range []struct {
-			name     string
-			min, max float64 // working-set bounds as multiples of L3
-		}{
-			{"L3", 0, 0.9},
-			{"DRAM", 4, 1e18},
-		} {
-			l3 := float64(sys.L3Total(sockets))
-			l2 := float64(sys.L2PerCore) * float64(sys.Cores(sockets))
-			eng := bench.NewSimEngine(sys, o.Seed)
-			var cases []bench.Case
-			for _, n := range grid {
-				w := units.TriadBytes(n)
-				if w <= l2 || w < region.min*l3 || w > region.max*l3 {
-					continue
-				}
-				cases = append(cases, eng.TriadCase(n, aff, sockets))
-			}
-			if len(cases) == 0 {
-				continue
-			}
-			meta := pointMeta{sockets: sockets, region: region.name}
-			if region.name == "DRAM" {
-				meta.theoBW = sys.TheoreticalBandwidth(sockets)
-			}
-			p.add(
-				sweep.Spec{Name: fmt.Sprintf("TRIAD %s (%d sockets)", region.name, sockets), Clock: eng.Clock, Cases: cases},
-				meta,
-			)
-		}
-	}
-	return p
-}
-
-// planNative builds the native build's sweeps on one shared engine (the
-// host is the engine; there is nothing to split).
-func planNative(eng *bench.NativeEngine, o Options) *sweepPlan {
-	p := &sweepPlan{}
-	cases := make([]bench.Case, len(o.Space))
-	for i, d := range o.Space {
-		cases[i] = eng.DGEMMCase(d.N, d.M, d.K)
-	}
-	p.add(
-		sweep.Spec{Name: "native DGEMM", Clock: eng.Clock, Cases: cases},
-		pointMeta{compute: true, sockets: 1},
-	)
-
-	grid := units.TriadGridElements(units.WorkingSetGridDense(o.TriadLo, o.TriadHi, 2))
-	for _, region := range []struct {
-		name     string
-		min, max units.ByteSize
-	}{
-		{"cache", 0, o.AssumedLLC / 2},
-		{"DRAM", o.AssumedLLC * 4, 1 << 62},
-	} {
-		var cases []bench.Case
-		for _, n := range grid {
-			w := units.ByteSize(units.TriadBytes(n))
-			if w < region.min || w > region.max {
-				continue
-			}
-			cases = append(cases, eng.TriadCase(n))
-		}
-		if len(cases) == 0 {
-			continue
-		}
-		p.add(
-			sweep.Spec{Name: "native TRIAD " + region.name, Clock: eng.Clock, Cases: cases},
-			pointMeta{sockets: 1, region: region.name},
-		)
-	}
-	return p
-}
-
-// assembleResult runs the plan's sweeps and builds Result points from
-// their typed winners. Winning configurations come from bench.Config
-// carried on the outcome — no key string is ever parsed, so a key-format
-// change can no longer silently zero the reported dimensions.
-func assembleResult(res *Result, p *sweepPlan, runner *sweep.Runner) (*Result, error) {
-	outs, err := runner.Run(p.specs)
-	if err != nil {
-		return nil, fmt.Errorf("rooftune: %w", err)
-	}
-	for i, out := range outs {
-		meta := p.metas[i]
-		if meta.compute {
-			cfg, err := out.DGEMM()
-			if err != nil {
-				return nil, fmt.Errorf("rooftune: %w", err)
-			}
-			res.Compute = append(res.Compute, ComputePoint{
-				Sockets:     meta.sockets,
-				Dims:        core.ConfigDims(cfg),
-				Flops:       units.Flops(out.BestValue()),
-				Theoretical: meta.theoFlops,
-			})
-		} else {
-			cfg, err := out.Triad()
-			if err != nil {
-				return nil, fmt.Errorf("rooftune: %w", err)
-			}
-			res.Memory = append(res.Memory, MemoryPoint{
-				Sockets:     meta.sockets,
-				Region:      meta.region,
-				Elements:    cfg.Elements,
-				Bandwidth:   units.Bandwidth(out.BestValue()),
-				Theoretical: meta.theoBW,
-			})
-		}
-		res.SearchTime += out.Result.Elapsed
-	}
-	res.Roofline = assembleRoofline(res)
-	return res, nil
+	// Warnings name planned-but-empty sweeps: residency regions whose
+	// case list filtered to nothing under the session's bounds, so the
+	// roofline is missing their ceiling. Each was also delivered as an
+	// EventRegionEmpty progress event.
+	Warnings []string
 }
 
 func assembleRoofline(res *Result) *roofline.Model {
@@ -368,20 +123,24 @@ func unitsAttainableTriad(res *Result) units.Flops {
 
 // Summary renders a human-readable result overview.
 func (r *Result) Summary() string {
-	out := fmt.Sprintf("%s (engine %s), search time %.2fs\n", r.SystemName, r.Engine, r.SearchTime.Seconds())
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (engine %s), search time %.2fs\n", r.SystemName, r.Engine, r.SearchTime.Seconds())
 	for _, c := range r.Compute {
-		out += fmt.Sprintf("  compute %d socket(s): %v at n,m,k=%v", c.Sockets, c.Flops, c.Dims)
+		fmt.Fprintf(&sb, "  compute %d socket(s): %v at n,m,k=%v", c.Sockets, c.Flops, c.Dims)
 		if c.Theoretical > 0 {
-			out += fmt.Sprintf(" (%s of theoretical %v)", units.Percent(float64(c.Flops), float64(c.Theoretical)), c.Theoretical)
+			fmt.Fprintf(&sb, " (%s of theoretical %v)", units.Percent(float64(c.Flops), float64(c.Theoretical)), c.Theoretical)
 		}
-		out += "\n"
+		sb.WriteByte('\n')
 	}
 	for _, b := range r.Memory {
-		out += fmt.Sprintf("  %-5s %d socket(s): %v at N=%d", b.Region, b.Sockets, b.Bandwidth, b.Elements)
+		fmt.Fprintf(&sb, "  %-5s %d socket(s): %v at N=%d", b.Region, b.Sockets, b.Bandwidth, b.Elements)
 		if b.Theoretical > 0 {
-			out += fmt.Sprintf(" (%s of theoretical %v)", units.Percent(float64(b.Bandwidth), float64(b.Theoretical)), b.Theoretical)
+			fmt.Fprintf(&sb, " (%s of theoretical %v)", units.Percent(float64(b.Bandwidth), float64(b.Theoretical)), b.Theoretical)
 		}
-		out += "\n"
+		sb.WriteByte('\n')
 	}
-	return out
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&sb, "  warning: %s\n", w)
+	}
+	return sb.String()
 }

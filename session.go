@@ -1,0 +1,476 @@
+package rooftune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/sweep"
+	"rooftune/internal/units"
+	"rooftune/internal/workload"
+)
+
+// settings is the resolved configuration of a Session. Options mutate it;
+// New fills defaults and validates the final state.
+type settings struct {
+	// target
+	sys       *hw.System
+	native    bool
+	targetSet bool
+
+	seed      uint64
+	budget    *bench.Budget
+	space     []core.Dims
+	spaceSet  bool
+	threads   int
+	llc       units.ByteSize
+	triadLo   units.ByteSize
+	triadHi   units.ByteSize
+	serial    bool
+	progress  func(Event)
+	workloads []string
+}
+
+// Option configures a Session under construction. Options are applied in
+// order; an option error aborts New immediately.
+type Option func(*settings) error
+
+// WithSystem targets the named simulated system. Known names: "2650v4",
+// "2695v4", "Gold 6132", "Gold 6148", "Silver 4110", plus anything
+// registered via hw.Register.
+func WithSystem(name string) Option {
+	return func(s *settings) error {
+		sys, err := hw.Get(name)
+		if err != nil {
+			return err
+		}
+		return WithSystemSpec(sys)(s)
+	}
+}
+
+// WithSystemSpec targets an explicit simulated system description. The
+// description is validated: an internally inconsistent system errors here
+// rather than producing a meaningless calibration.
+func WithSystemSpec(sys hw.System) Option {
+	return func(s *settings) error {
+		if err := sys.Validate(); err != nil {
+			return err
+		}
+		if s.targetSet {
+			return fmt.Errorf("rooftune: target already set; WithSystem/WithSystemSpec/WithNative are mutually exclusive")
+		}
+		s.sys = &sys
+		s.targetSet = true
+		return nil
+	}
+}
+
+// WithNative targets the host machine: the real pure-Go kernels measured
+// with the wall clock. Native sessions always run their sweeps serially —
+// concurrent wall-clock measurement would contend on the host.
+func WithNative() Option {
+	return func(s *settings) error {
+		if s.targetSet {
+			return fmt.Errorf("rooftune: target already set; WithSystem/WithSystemSpec/WithNative are mutually exclusive")
+		}
+		s.native = true
+		s.targetSet = true
+		return nil
+	}
+}
+
+// WithSeed sets the simulated engines' noise seed (default 1021, the
+// paper seed; 0 means the default).
+func WithSeed(seed uint64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithBudget sets the evaluation budget. The default is Table I with the
+// paper's best technique (Confidence + Inner + Outer bounds), shrunk to
+// interactive sizes on native targets.
+func WithBudget(b bench.Budget) Option {
+	return func(s *settings) error {
+		s.budget = &b
+		return nil
+	}
+}
+
+// WithSpace sets the DGEMM search space. An empty space is rejected:
+// there is nothing to tune. The default is the paper's union space for
+// simulated targets and NativeQuickSpace for native ones.
+func WithSpace(space []core.Dims) Option {
+	return func(s *settings) error {
+		if len(space) == 0 {
+			return fmt.Errorf("rooftune: WithSpace: empty search space")
+		}
+		s.space = space
+		s.spaceSet = true
+		return nil
+	}
+}
+
+// WithThreads sets the native engines' parallelism (default GOMAXPROCS;
+// 0 means the default). Negative counts are rejected.
+func WithThreads(threads int) Option {
+	return func(s *settings) error {
+		if threads < 0 {
+			return fmt.Errorf("rooftune: WithThreads: negative thread count %d", threads)
+		}
+		s.threads = threads
+		return nil
+	}
+}
+
+// WithAssumedLLC sets the native target's last-level-cache estimate used
+// to split the TRIAD sweep into cache and DRAM regions (default 32 MiB).
+func WithAssumedLLC(size units.ByteSize) Option {
+	return func(s *settings) error {
+		s.llc = size
+		return nil
+	}
+}
+
+// WithTriadRange bounds the TRIAD working-set sweep (defaults: the
+// paper's 3 KiB .. 768 MiB simulated, 3 KiB .. 256 MiB native; a zero
+// bound keeps its default). Inverted bounds are rejected at New once
+// defaults are resolved.
+func WithTriadRange(lo, hi units.ByteSize) Option {
+	return func(s *settings) error {
+		s.triadLo, s.triadHi = lo, hi
+		return nil
+	}
+}
+
+// WithSerial disables concurrent sweep execution on simulated targets.
+// Every sweep owns its engine, clock and noise streams, so parallel
+// results are bit-identical to serial ones (asserted by
+// TestSimulatedParallelDeterminism); WithSerial exists for debugging.
+func WithSerial() Option {
+	return func(s *settings) error {
+		s.serial = true
+		return nil
+	}
+}
+
+// WithProgress installs a live progress callback. Events arrive from the
+// sweeps as they execute; the Session serialises delivery, so fn needs no
+// locking of its own, but it must return quickly — it runs on the sweep
+// goroutines' critical path.
+func WithProgress(fn func(Event)) Option {
+	return func(s *settings) error {
+		s.progress = fn
+		return nil
+	}
+}
+
+// WithWorkloads selects which registered workloads the session runs, in
+// order (default: "dgemm", "triad"). Unknown names are rejected at New.
+func WithWorkloads(names ...string) Option {
+	return func(s *settings) error {
+		if len(names) == 0 {
+			return fmt.Errorf("rooftune: WithWorkloads: no workloads named")
+		}
+		s.workloads = names
+		return nil
+	}
+}
+
+// Session is a configured roofline build: a target (simulated system or
+// the native host), a set of workloads, and the tuning parameters their
+// sweeps run under. Sessions are created by New and executed by Run; a
+// Session may be Run any number of times — every run plans fresh engines,
+// so simulated runs with equal seeds are bit-identical.
+type Session struct {
+	cfg       settings
+	workloads []Workload
+	// progressMu serialises progress-event delivery. It lives on the
+	// Session, not the Run, so the WithProgress callback stays serialised
+	// even across concurrent Runs of one Session.
+	progressMu sync.Mutex
+}
+
+// New builds a Session from functional options. It fails fast: unknown
+// systems and workloads, inverted TRIAD bounds, negative thread counts
+// and empty search spaces are construction errors, not degenerate sweeps
+// discovered minutes into a run.
+func New(opts ...Option) (*Session, error) {
+	var s settings
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if !s.targetSet {
+		return nil, fmt.Errorf("rooftune: no target: pass WithSystem, WithSystemSpec or WithNative")
+	}
+	// Defaults mirror the deprecated Options.withDefaults exactly, so the
+	// compatibility shims stay bit-identical.
+	if s.seed == 0 {
+		s.seed = 1021
+	}
+	if s.budget == nil {
+		b := bench.DefaultBudget().WithFlags(true, true, true)
+		if s.native {
+			b.Invocations = 3
+			b.MaxIterations = 30
+			b.MaxTime = 2 * time.Second
+		}
+		s.budget = &b
+	}
+	if !s.spaceSet {
+		if s.native {
+			s.space = NativeQuickSpace()
+		} else {
+			s.space = core.UnionDGEMMSpace()
+		}
+	}
+	if s.llc == 0 {
+		s.llc = 32 * units.MiB
+	}
+	if s.triadLo == 0 {
+		s.triadLo = 3 * units.KiB
+	}
+	if s.triadHi == 0 {
+		if s.native {
+			s.triadHi = 256 * units.MiB
+		} else {
+			s.triadHi = 768 * units.MiB
+		}
+	}
+	if s.triadLo > s.triadHi {
+		return nil, fmt.Errorf("rooftune: inverted TRIAD working-set bounds (lo %v > hi %v)", s.triadLo, s.triadHi)
+	}
+	if len(s.workloads) == 0 {
+		s.workloads = []string{"dgemm", "triad"}
+	}
+	sess := &Session{cfg: s}
+	for _, name := range s.workloads {
+		w, err := workload.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("rooftune: %w", err)
+		}
+		sess.workloads = append(sess.workloads, w)
+	}
+	return sess, nil
+}
+
+// Run plans every workload's sweeps, executes them, and assembles the
+// tuned roofline. Cancelling ctx aborts the run between kernel executions
+// and returns ctx.Err(); no partial Result is produced, and no sweep
+// goroutine outlives the call.
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	emit := s.eventSink()
+
+	target, res := s.target()
+	params := workload.Params{
+		Seed:       s.cfg.seed,
+		Space:      s.cfg.space,
+		TriadLo:    s.cfg.triadLo,
+		TriadHi:    s.cfg.triadHi,
+		AssumedLLC: s.cfg.llc,
+		Threads:    s.cfg.threads,
+	}
+
+	var (
+		specs  []sweep.Spec
+		points []Point
+	)
+	for _, w := range s.workloads {
+		plan, err := w.Plan(target, params)
+		if err != nil {
+			return nil, fmt.Errorf("rooftune: workload %s: %w", w.Name(), err)
+		}
+		for _, warning := range plan.Warnings {
+			res.Warnings = append(res.Warnings, warning)
+			emit(Event{Kind: EventRegionEmpty, Warning: warning})
+		}
+		for _, pl := range plan.Sweeps {
+			specs = append(specs, pl.Spec)
+			points = append(points, pl.Point)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("rooftune: every planned sweep is empty: %v", res.Warnings)
+	}
+
+	runner := &sweep.Runner{
+		Budget: *s.cfg.budget,
+		Order:  core.OrderForward,
+		Serial: s.cfg.serial || s.cfg.native,
+	}
+	if s.cfg.progress != nil {
+		runner.Hooks = sweep.Hooks{
+			SweepStarted: func(name string, cases int) {
+				emit(Event{Kind: EventSweepStarted, Sweep: name, Cases: cases})
+			},
+			CaseEvaluated: func(sweepName string, out *bench.Outcome) {
+				emit(Event{
+					Kind:   EventCaseEvaluated,
+					Sweep:  sweepName,
+					Case:   out.Describe,
+					Value:  out.Metric.Scale(out.Mean),
+					Unit:   out.Metric.Unit(),
+					Pruned: out.Pruned,
+				})
+			},
+			SweepWon: func(o *sweep.Outcome) {
+				ev := Event{Kind: EventSweepWon, Sweep: o.Name, Elapsed: o.Result.Elapsed}
+				if o.Result.Best != nil {
+					ev.Case = o.Result.Best.Describe
+					ev.Value = o.Result.Best.Metric.Scale(o.BestValue())
+					ev.Unit = o.Result.Best.Metric.Unit()
+				}
+				emit(ev)
+			},
+		}
+	}
+
+	outs, err := runner.Run(ctx, specs)
+	if err != nil {
+		// Report a cancellation as the bare ctx.Err(); a genuine engine
+		// failure that merely raced with cancellation keeps its
+		// diagnostic (it still satisfies errors.Is(err, ctx.Err())
+		// when the failure IS the cancellation, since the sweep layer
+		// wraps with %w).
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("rooftune: %w", err)
+	}
+	return assembleResult(res, outs, points)
+}
+
+// target resolves the session's tuning target and the Result header that
+// describes it. Engines are created here, per Run, never cached: a fresh
+// native engine per run keeps thread pools from leaking across runs, and
+// simulated engines are created inside each planned sweep anyway.
+func (s *Session) target() (workload.Target, *Result) {
+	if s.cfg.native {
+		eng := bench.NewNativeEngine(s.cfg.threads)
+		return workload.Target{Native: eng}, &Result{SystemName: "host", Engine: eng.Name()}
+	}
+	sys := s.cfg.sys
+	return workload.Target{Sys: sys}, &Result{SystemName: sys.Name, Engine: bench.SimEngineName(*sys)}
+}
+
+// assembleResult turns the sweeps' typed winners into Result points.
+// Winning configurations come from bench.Config carried on the outcome —
+// no key string is ever parsed, so a key-format change can no longer
+// silently zero the reported dimensions.
+func assembleResult(res *Result, outs []sweep.Outcome, points []Point) (*Result, error) {
+	for i, out := range outs {
+		pt := points[i]
+		if pt.Compute {
+			cfg, err := out.DGEMM()
+			if err != nil {
+				return nil, fmt.Errorf("rooftune: %w", err)
+			}
+			res.Compute = append(res.Compute, ComputePoint{
+				Sockets:     pt.Sockets,
+				Dims:        core.ConfigDims(cfg),
+				Flops:       units.Flops(out.BestValue()),
+				Theoretical: pt.TheoreticalFlops,
+			})
+		} else {
+			cfg, err := out.Triad()
+			if err != nil {
+				return nil, fmt.Errorf("rooftune: %w", err)
+			}
+			res.Memory = append(res.Memory, MemoryPoint{
+				Sockets:     pt.Sockets,
+				Region:      pt.Region,
+				Elements:    cfg.Elements,
+				Bandwidth:   units.Bandwidth(out.BestValue()),
+				Theoretical: pt.TheoreticalBandwidth,
+			})
+		}
+		res.SearchTime += out.Result.Elapsed
+	}
+	res.Roofline = assembleRoofline(res)
+	return res, nil
+}
+
+// EventKind classifies a progress event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventSweepStarted fires when one sweep's search begins.
+	EventSweepStarted EventKind = iota
+	// EventCaseEvaluated fires after each configuration's evaluation.
+	EventCaseEvaluated
+	// EventSweepWon fires when one sweep finishes with its winner.
+	EventSweepWon
+	// EventRegionEmpty warns, before any sweep runs, that a planned
+	// residency region filtered to zero cases under the session's bounds:
+	// the roofline will be missing that ceiling.
+	EventRegionEmpty
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSweepStarted:
+		return "sweep-started"
+	case EventCaseEvaluated:
+		return "case-evaluated"
+	case EventSweepWon:
+		return "sweep-won"
+	case EventRegionEmpty:
+		return "region-empty"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one live progress notification from a running session.
+// Delivery is serialised; fields beyond Kind and Sweep are set per kind.
+type Event struct {
+	Kind EventKind
+	// Sweep names the sweep (empty for EventRegionEmpty, whose region
+	// never became a sweep — see Warning).
+	Sweep string
+	// Cases is the sweep's search-space size (EventSweepStarted).
+	Cases int
+	// Case describes the evaluated configuration (EventCaseEvaluated) or
+	// the winner (EventSweepWon).
+	Case string
+	// Value is the configuration's mean performance in Unit
+	// (EventCaseEvaluated, EventSweepWon).
+	Value float64
+	// Unit is Value's reporting unit, "GFLOP/s" or "GB/s".
+	Unit string
+	// Pruned reports that the outer bound abandoned the configuration
+	// (EventCaseEvaluated).
+	Pruned bool
+	// Elapsed is the sweep's total search time (EventSweepWon).
+	Elapsed time.Duration
+	// Warning is the full empty-region description (EventRegionEmpty).
+	Warning string
+}
+
+// eventSink wraps the user callback with the session mutex so concurrent
+// sweeps — and concurrent Runs — deliver events one at a time. A nil
+// callback costs one nil check.
+func (s *Session) eventSink() func(Event) {
+	fn := s.cfg.progress
+	if fn == nil {
+		return func(Event) {}
+	}
+	return func(ev Event) {
+		s.progressMu.Lock()
+		defer s.progressMu.Unlock()
+		fn(ev)
+	}
+}

@@ -1,0 +1,260 @@
+package rooftune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		opts    []Option
+		wantErr string
+	}{
+		{"no target", nil, "no target"},
+		{"two targets", []Option{WithSystem("Gold 6148"), WithNative()}, "mutually exclusive"},
+		{"native then system", []Option{WithNative(), WithSystem("Gold 6148")}, "mutually exclusive"},
+		{"unknown system", []Option{WithSystem("warp-drive")}, "warp-drive"},
+		{"invalid system spec", []Option{WithSystemSpec(hw.System{Name: "broken"})}, "non-positive"},
+		{"empty space", []Option{WithSystem("Gold 6148"), WithSpace(nil)}, "empty search space"},
+		{"negative threads", []Option{WithNative(), WithThreads(-2)}, "negative thread count"},
+		{"inverted triad bounds", []Option{
+			WithSystem("Gold 6148"), WithTriadRange(8*units.MiB, 2*units.MiB),
+		}, "inverted TRIAD"},
+		{"triad lo above default hi", []Option{
+			WithSystem("Gold 6148"), WithTriadRange(900*units.MiB, 0),
+		}, "inverted TRIAD"},
+		{"unknown workload", []Option{WithSystem("Gold 6148"), WithWorkloads("spmv")}, `"spmv"`},
+		{"empty workloads", []Option{WithSystem("Gold 6148"), WithWorkloads()}, "no workloads"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.opts...)
+			if err == nil {
+				t.Fatalf("New(%s) must error", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func tinySessionOptions() []Option {
+	return []Option{
+		WithSystemSpec(tinySystem()),
+		WithSpace([]core.Dims{
+			{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128},
+			{N: 2048, M: 2048, K: 128},
+		}),
+		WithTriadRange(16*units.KiB, 256*units.MiB),
+	}
+}
+
+func TestSessionEvents(t *testing.T) {
+	var events []Event
+	sess, err := New(append(tinySessionOptions(), WithProgress(func(ev Event) {
+		events = append(events, ev)
+	}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweeps := len(res.Compute) + len(res.Memory)
+	counts := map[EventKind]int{}
+	seenStart := map[string]bool{}
+	for _, ev := range events {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case EventSweepStarted:
+			if ev.Sweep == "" || ev.Cases <= 0 {
+				t.Fatalf("malformed sweep-started event: %+v", ev)
+			}
+			seenStart[ev.Sweep] = true
+		case EventCaseEvaluated:
+			if !seenStart[ev.Sweep] {
+				t.Fatalf("case-evaluated before sweep-started for %q", ev.Sweep)
+			}
+			if ev.Case == "" || ev.Unit == "" {
+				t.Fatalf("malformed case-evaluated event: %+v", ev)
+			}
+		case EventSweepWon:
+			if !seenStart[ev.Sweep] {
+				t.Fatalf("sweep-won before sweep-started for %q", ev.Sweep)
+			}
+			if ev.Value <= 0 || ev.Elapsed <= 0 {
+				t.Fatalf("malformed sweep-won event: %+v", ev)
+			}
+		}
+	}
+	if counts[EventSweepStarted] != sweeps || counts[EventSweepWon] != sweeps {
+		t.Fatalf("sweep events: started %d, won %d, want %d each",
+			counts[EventSweepStarted], counts[EventSweepWon], sweeps)
+	}
+	if counts[EventCaseEvaluated] < sweeps { // at least one case per sweep
+		t.Fatalf("case events: %d for %d sweeps", counts[EventCaseEvaluated], sweeps)
+	}
+}
+
+func TestEmptyRegionWarning(t *testing.T) {
+	// tinySystem has 8 MiB of L3; the DRAM region needs working sets of
+	// at least 4x L3 = 32 MiB, so capping the sweep at 16 MiB leaves it
+	// without a single case. That must be loud: a warning on the Result,
+	// an EventRegionEmpty, a warning line in the Summary — not a roofline
+	// silently missing its DRAM ceiling.
+	var empties []Event
+	sess, err := New(
+		WithSystemSpec(tinySystem()),
+		WithSpace([]core.Dims{{N: 512, M: 512, K: 128}}),
+		WithTriadRange(16*units.KiB, 16*units.MiB),
+		WithProgress(func(ev Event) {
+			if ev.Kind == EventRegionEmpty {
+				empties = append(empties, ev)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "DRAM") {
+		t.Fatalf("warnings = %v, want one naming DRAM", res.Warnings)
+	}
+	if len(empties) != 1 || empties[0].Warning != res.Warnings[0] {
+		t.Fatalf("region-empty events = %+v, want one matching %q", empties, res.Warnings[0])
+	}
+	for _, m := range res.Memory {
+		if m.Region == "DRAM" {
+			t.Fatalf("DRAM point present despite empty region: %+v", m)
+		}
+	}
+	if !strings.Contains(res.Summary(), "warning: ") {
+		t.Fatalf("summary must surface the warning:\n%s", res.Summary())
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once bool
+	sess, err := New(append(tinySessionOptions(), WithProgress(func(ev Event) {
+		// Cancel from inside the run, after the first evaluated case:
+		// mid-sweep by construction.
+		if ev.Kind == EventCaseEvaluated && !once {
+			once = true
+			cancel()
+		}
+	}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err.Error() != context.Canceled.Error() {
+		t.Fatalf("Run must return ctx.Err() itself, got %q", err)
+	}
+	if res != nil {
+		t.Fatalf("canceled run produced a partial result: %+v", res)
+	}
+	// No sweep goroutine may outlive Run. Allow the runtime a moment to
+	// retire finished goroutines before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := New(tinySessionOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSessionRerunDeterministic(t *testing.T) {
+	sess, err := New(tinySessionOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("re-run diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestWorkloadSelection(t *testing.T) {
+	sess, err := New(append(tinySessionOptions(), WithWorkloads("dgemm"))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compute) != 1 || len(res.Memory) != 0 {
+		t.Fatalf("dgemm-only session: %d compute, %d memory points", len(res.Compute), len(res.Memory))
+	}
+	names := WorkloadNames()
+	for _, want := range []string{"dgemm", "triad"} {
+		found := false
+		for _, n := range names {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("built-in workload %q not registered: %v", want, names)
+		}
+	}
+}
+
+func TestRegisterWorkloadRejectsDuplicate(t *testing.T) {
+	if err := RegisterWorkload(dupWorkload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterWorkload(dupWorkload{}); err == nil {
+		t.Fatal("duplicate registration must error")
+	}
+}
+
+type dupWorkload struct{}
+
+func (dupWorkload) Name() string { return "test-dup" }
+func (dupWorkload) Plan(Target, Params) (Plan, error) {
+	return Plan{}, fmt.Errorf("never planned")
+}

@@ -1,0 +1,48 @@
+package rooftune
+
+import (
+	"rooftune/internal/workload"
+
+	// The built-in workloads register themselves ("dgemm", "triad") so
+	// every Session can name them without further imports.
+	_ "rooftune/internal/workloads/dgemm"
+	_ "rooftune/internal/workloads/triad"
+)
+
+// The workload contract lives in internal/workload so that workload
+// implementations never import this package (the root registers the
+// built-ins — importing back would cycle). The aliases below make the
+// internal types and the public ones a single identity: a
+// workload.Workload IS a rooftune.Workload.
+
+// Workload produces the autotuning sweeps of one benchmark family; see
+// the package documentation and examples/custom-workload. Implementations
+// plug into sessions via RegisterWorkload and WithWorkloads.
+type Workload = workload.Workload
+
+// Target identifies what a Workload plans sweeps for: a simulated system
+// or the native host.
+type Target = workload.Target
+
+// Params are the session's resolved tuning parameters, passed to every
+// Workload's Plan.
+type Params = workload.Params
+
+// Point says how one sweep's winning outcome lands in the Result — as a
+// ComputePoint or a MemoryPoint.
+type Point = workload.Point
+
+// PlannedSweep pairs one sweep spec with the Point its winner becomes.
+type PlannedSweep = workload.Planned
+
+// Plan is a Workload's full contribution to a session run: its sweeps
+// plus warnings for any region that filtered to zero cases.
+type Plan = workload.Plan
+
+// RegisterWorkload adds a workload to the global registry under its
+// Name, making it selectable with WithWorkloads. Registering a name twice
+// is an error.
+func RegisterWorkload(w Workload) error { return workload.Register(w) }
+
+// WorkloadNames returns the registered workload names, sorted.
+func WorkloadNames() []string { return workload.Names() }
