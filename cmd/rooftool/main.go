@@ -32,6 +32,7 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
 		out       = flag.String("out", "", "output file (default stdout)")
 		threads   = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
+		shards    = flag.Int("case-shards", 0, "workers evaluating cases concurrently within each sweep (simulated targets only; 0 = serial)")
 		workloads = flag.String("workloads", "", "comma-separated workloads to run (default: dgemm,triad; see -list)")
 		progress  = flag.Bool("progress", false, "stream live tuning progress to stderr")
 		list      = flag.Bool("list", false, "list known systems and workloads, then exit")
@@ -44,7 +45,7 @@ func main() {
 		return
 	}
 
-	opts := []rooftune.Option{rooftune.WithSeed(*seed), rooftune.WithThreads(*threads)}
+	opts := []rooftune.Option{rooftune.WithSeed(*seed), rooftune.WithThreads(*threads), rooftune.WithCaseShards(*shards)}
 	if *native {
 		opts = append(opts, rooftune.WithNative())
 	} else {

@@ -75,7 +75,7 @@ func main() {
 }
 
 func run(eval *bench.Evaluator, c bench.Case) {
-	out, err := eval.Evaluate(context.Background(), c, bench.NoBest)
+	out, err := eval.Evaluate(context.Background(), c, bench.None)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triadbench:", err)
 		os.Exit(1)

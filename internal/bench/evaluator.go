@@ -76,14 +76,20 @@ func NewEvaluator(clock vclock.Clock, budget Budget) *Evaluator {
 }
 
 // Evaluate runs the full invocation/iteration process for case c, pruning
-// against the incumbent metric value best (use NoBest if none). The
+// against the incumbent bound inc (use None if no incumbent exists). The
+// bound is loaded exactly once, on entry, so the whole evaluation prunes
+// against one consistent value — sharded searches snapshot their shared
+// AtomicIncumbent the same way a serial search carries its scalar. The
 // returned outcome's Elapsed is measured on the evaluator's clock, so it
 // includes setup and warm-up cost — everything the search pays for.
+// (Under case sharding the clock is shared by concurrent evaluations, so
+// Elapsed then spans the evaluation's concurrent window; see core.Tuner.)
 //
 // Cancelling ctx aborts the evaluation between kernel executions — after
 // at most one more Step — and returns ctx.Err(); the partial outcome is
 // discarded, never reported as a measurement.
-func (e *Evaluator) Evaluate(ctx context.Context, c Case, best float64) (*Outcome, error) {
+func (e *Evaluator) Evaluate(ctx context.Context, c Case, inc Incumbent) (*Outcome, error) {
+	best := inc.Bound()
 	b := e.Budget.normalized()
 	out := &Outcome{Key: c.Key(), Config: c.Config(), Describe: c.Describe(), Metric: c.Metric()}
 	watch := vclock.NewStopwatch(e.Clock)

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFixedIncumbent(t *testing.T) {
+	if None.Bound() != NoBest {
+		t.Fatalf("None bound = %v, want NoBest", None.Bound())
+	}
+	if got := Fixed(42).Bound(); got != 42 {
+		t.Fatalf("Fixed bound = %v", got)
+	}
+}
+
+func TestAtomicIncumbentMonotone(t *testing.T) {
+	a := NewAtomicIncumbent()
+	if a.Bound() != NoBest {
+		t.Fatalf("fresh bound = %v, want NoBest", a.Bound())
+	}
+	a.Offer(10)
+	a.Offer(5) // lower offers never regress the bound
+	if a.Bound() != 10 {
+		t.Fatalf("bound = %v, want 10", a.Bound())
+	}
+	a.Offer(math.NaN()) // NaN never poisons the maximum
+	if a.Bound() != 10 {
+		t.Fatalf("bound after NaN offer = %v, want 10", a.Bound())
+	}
+	a.Offer(11)
+	if a.Bound() != 11 {
+		t.Fatalf("bound = %v, want 11", a.Bound())
+	}
+}
+
+func TestAtomicIncumbentConcurrentOffers(t *testing.T) {
+	// CAS-max under contention: whatever the interleaving, the final
+	// bound is the maximum ever offered, and every intermediate load is a
+	// value someone actually offered (run under -race in CI).
+	a := NewAtomicIncumbent()
+	const workers, offers = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < offers; i++ {
+				a.Offer(float64(w*offers + i))
+				if b := a.Bound(); b < float64(w*offers+i) {
+					t.Errorf("bound %v below own offer %d", b, w*offers+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if want := float64(workers*offers - 1); a.Bound() != want {
+		t.Fatalf("final bound = %v, want %v", a.Bound(), want)
+	}
+}

@@ -25,9 +25,13 @@ type Sampler interface {
 //
 //	key,invocation,iteration,elapsed_ns,metric
 //
-// It is safe for use by a single evaluator; Flush must be called before
-// reading the underlying writer.
+// It is safe for concurrent use: sharded searches reach one sampler from
+// several shard workers at once (directly or via MultiSampler), and the
+// mutex keeps every row intact — concurrent evaluations interleave at row
+// granularity, never within a row. Flush must be called before reading
+// the underlying writer.
 type CSVSampler struct {
+	mu     sync.Mutex
 	w      *csv.Writer
 	header bool
 }
@@ -40,6 +44,8 @@ func NewCSVSampler(w io.Writer) *CSVSampler {
 
 // Sample implements Sampler.
 func (s *CSVSampler) Sample(key string, invocation, iteration int, elapsed time.Duration, metric float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.header {
 		s.header = true
 		_ = s.w.Write([]string{"key", "invocation", "iteration", "elapsed_ns", "metric"})
@@ -56,6 +62,8 @@ func (s *CSVSampler) Sample(key string, invocation, iteration int, elapsed time.
 // Flush writes buffered rows to the underlying writer and returns any
 // write error the csv layer recorded.
 func (s *CSVSampler) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.w.Flush()
 	return s.w.Error()
 }

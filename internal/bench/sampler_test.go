@@ -2,8 +2,11 @@ package bench
 
 import (
 	"context"
+	"encoding/csv"
+	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -28,6 +31,49 @@ func TestCSVSampler(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "k1,0,0,1500000,") {
 		t.Fatalf("row 1: %q", lines[1])
+	}
+}
+
+func TestCSVSamplerConcurrent(t *testing.T) {
+	// Shard workers reach one sampler concurrently (directly or through
+	// MultiSampler); every emitted row must stay intact — interleaving is
+	// allowed only at row granularity. Run under -race in CI.
+	var sb strings.Builder
+	s := NewCSVSampler(&sb)
+	const workers, rows = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", w)
+			for i := 0; i < rows; i++ {
+				s.Sample(key, 0, i, time.Millisecond, 1e9)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("concurrent writes corrupted the CSV stream: %v", err)
+	}
+	if len(recs) != workers*rows+1 {
+		t.Fatalf("rows: %d, want %d plus header", len(recs)-1, workers*rows)
+	}
+	perKey := map[string]int{}
+	for _, rec := range recs[1:] {
+		if len(rec) != 5 {
+			t.Fatalf("malformed row: %v", rec)
+		}
+		perKey[rec[0]]++
+	}
+	for w := 0; w < workers; w++ {
+		if got := perKey[fmt.Sprintf("k%d", w)]; got != rows {
+			t.Fatalf("worker %d: %d rows, want %d", w, got, rows)
+		}
 	}
 }
 
@@ -75,7 +121,7 @@ func TestEvaluatorSamplerWiring(t *testing.T) {
 	b.MaxIterations = 5
 	e := NewEvaluator(clock, b)
 	e.Sampler = buf
-	out, err := e.Evaluate(context.Background(), constantCase(clock, time.Millisecond), NoBest)
+	out, err := e.Evaluate(context.Background(), constantCase(clock, time.Millisecond), None)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +199,7 @@ func TestSteadyStateExcludesRamp(t *testing.T) {
 		b.SteadyWindow = 8
 		b.SteadyThreshold = 0.01
 		e := NewEvaluator(clock, b)
-		out, err := e.Evaluate(context.Background(), c, best)
+		out, err := e.Evaluate(context.Background(), c, Fixed(best))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +229,7 @@ func TestSteadyStateFallbackWhenNeverSteady(t *testing.T) {
 	b.UseSteadyState = true
 	b.SteadyThreshold = 1e-9 // unreachable
 	e := NewEvaluator(clock, b)
-	out, err := e.Evaluate(context.Background(), c, NoBest)
+	out, err := e.Evaluate(context.Background(), c, None)
 	if err != nil {
 		t.Fatal(err)
 	}

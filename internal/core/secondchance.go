@@ -88,7 +88,7 @@ func (t *Tuner) RunWithSecondChance(ctx context.Context, cases []bench.Case, sc 
 		if !ok {
 			continue
 		}
-		re, err := reEval.Evaluate(ctx, c, bench.NoBest)
+		re, err := reEval.Evaluate(ctx, c, bench.None)
 		if err != nil {
 			return nil, err
 		}
@@ -96,6 +96,10 @@ func (t *Tuner) RunWithSecondChance(ctx context.Context, cases []bench.Case, sc 
 		if re.Mean > best && !math.IsInf(re.Mean, 0) {
 			best = re.Mean
 			out.Result.Best = re
+			// The re-evaluation ran to completion, so even if the first
+			// pass only salvaged a pruned partial mean, Best is now a
+			// genuine measured winner.
+			out.Result.BestPruned = false
 			out.Promoted = true
 		}
 	}

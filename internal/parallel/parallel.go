@@ -10,6 +10,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by RunContext when the pool was closed before the
@@ -143,15 +144,19 @@ func (p *Pool) Run(n int, body func(lo, hi int)) bool {
 // whose task starts after ctx is done is skipped rather than executed, so
 // a large batch aborts after at most one in-flight partition per worker.
 // It always waits for the batch to drain before returning — no task ever
-// touches the partitioned data after RunContext returns — and reports
-// ctx.Err() if the context was canceled, ErrClosed if the pool was closed
-// before the batch could start.
+// touches the partitioned data after RunContext returns. It reports
+// ErrClosed if the pool was closed before the batch could start, and
+// ctx.Err() only when cancellation actually cost work: a cancellation
+// that lands after every partition has executed is not a failure, and
+// RunContext returns nil so a fully-completed batch is never discarded.
 func (p *Pool) RunContext(ctx context.Context, n int, body func(lo, hi int)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	var skipped atomic.Bool
 	ran := p.Run(n, func(lo, hi int) {
 		if ctx.Err() != nil {
+			skipped.Store(true)
 			return
 		}
 		body(lo, hi)
@@ -159,7 +164,12 @@ func (p *Pool) RunContext(ctx context.Context, n int, body func(lo, hi int)) err
 	if !ran {
 		return ErrClosed
 	}
-	return ctx.Err()
+	if skipped.Load() {
+		// skipped implies ctx was done at the skip, and ctx errors are
+		// sticky, so this is never nil.
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Close shuts the workers down once in-flight batches finish enqueueing.

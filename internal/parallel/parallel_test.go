@@ -231,6 +231,33 @@ func TestPoolRunContextCancelSkipsQueuedTask(t *testing.T) {
 	}
 }
 
+func TestPoolRunContextCompletedBatchSurvivesLateCancel(t *testing.T) {
+	// Regression: RunContext used to report ctx.Err() even when every
+	// partition had already executed, so a caller discarded a
+	// fully-completed batch as a failure. A cancellation that costs no
+	// work is not a failure.
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var ran atomic.Int64
+	last := int64(16)
+	err := p.RunContext(ctx, int(last), func(lo, hi int) {
+		if n := ran.Add(int64(hi - lo)); n == last {
+			// The final partition cancels after its work is done: by the
+			// time RunContext inspects the context, the batch is complete.
+			cancel()
+		}
+	})
+	if err != nil {
+		t.Fatalf("fully-completed batch reported %v, want nil", err)
+	}
+	if ran.Load() != last {
+		t.Fatalf("ran %d of %d indices", ran.Load(), last)
+	}
+}
+
 func TestPoolRunContextClosed(t *testing.T) {
 	p := NewPool(2)
 	p.Close()

@@ -9,6 +9,13 @@
 // may therefore execute specs concurrently with results bit-identical to
 // serial execution (asserted by TestRunParallelDeterminism), mirroring
 // the guarantee experiments.RunCampaign already makes per system.
+//
+// Orthogonally, CaseShards parallelises *within* one sweep: shard workers
+// evaluate the ordered case list concurrently under core.Tuner's
+// order-insensitive incumbent protocol. That is a weaker guarantee than
+// across-sweep concurrency — the winner and its value are invariant, but
+// pruning counts and sample totals may differ from serial (only ever
+// toward less pruning) — which is why it is opt-in per Runner or Spec.
 package sweep
 
 import (
@@ -29,6 +36,10 @@ type Spec struct {
 	Name  string
 	Clock vclock.Clock
 	Cases []bench.Case
+	// CaseShards overrides the Runner's case-shard count for this sweep
+	// (0 = use the Runner's; 1 = force serial evaluation). See
+	// Runner.CaseShards.
+	CaseShards int
 }
 
 // Outcome pairs a finished sweep with its typed winning configuration.
@@ -87,6 +98,15 @@ type Runner struct {
 	Serial bool
 	// Workers caps sweep-level concurrency (default GOMAXPROCS).
 	Workers int
+	// CaseShards is the number of workers evaluating cases concurrently
+	// *within* each sweep (0 or 1 = strictly serial case evaluation, the
+	// default). Sharded sweeps share a monotone atomic incumbent, so stop
+	// condition 4 keeps pruning conservatively and the winner is
+	// shard-count-invariant on the simulated engines; see core.Tuner. Like
+	// sweep-level concurrency, case sharding is for simulated engines
+	// only — native wall-clock measurement would contend on the host. A
+	// Spec may override the count per sweep via Spec.CaseShards.
+	CaseShards int
 	// Hooks observe execution; see Hooks.
 	Hooks Hooks
 }
@@ -103,8 +123,11 @@ type Runner struct {
 //
 // Cancelling ctx aborts the run: no new sweep starts, in-flight sweeps
 // stop between kernel executions, and Run reports an error satisfying
-// errors.Is(err, ctx.Err()). Worker goroutines are always joined before
-// Run returns — cancellation leaks nothing.
+// errors.Is(err, ctx.Err()) — unless the cancellation cost nothing
+// because every spec had already completed, in which case the finished
+// outcomes are returned with a nil error rather than discarded. Worker
+// goroutines are always joined before Run returns — cancellation leaks
+// nothing.
 func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("sweep: no specs")
@@ -123,8 +146,13 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	pool := parallel.NewPool(workers)
 	poolErr := pool.RunContext(ctx, len(specs), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if ctx.Err() != nil {
-				return
+			if err := ctx.Err(); err != nil {
+				// Record the skip on the spec itself: RunContext reports
+				// nil when every partition executed, so a spec this loop
+				// skipped mid-partition must carry its own cancellation
+				// error rather than ride on the pool's.
+				errs[i] = fmt.Errorf("sweep: %s: %w", specs[i].Name, err)
+				continue
 			}
 			if failFast && failed.Load() {
 				return
@@ -155,6 +183,10 @@ func (r *Runner) runOne(ctx context.Context, s Spec) (Outcome, error) {
 		r.Hooks.SweepStarted(s.Name, len(s.Cases))
 	}
 	tuner := core.NewTuner(s.Clock, r.Budget, r.Order)
+	tuner.Shards = r.CaseShards
+	if s.CaseShards != 0 {
+		tuner.Shards = s.CaseShards
+	}
 	if r.Hooks.CaseEvaluated != nil {
 		tuner.OnOutcome = func(out *bench.Outcome) { r.Hooks.CaseEvaluated(s.Name, out) }
 	}

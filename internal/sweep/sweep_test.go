@@ -12,6 +12,7 @@ import (
 	"rooftune/internal/bench"
 	"rooftune/internal/core"
 	"rooftune/internal/hw"
+	"rooftune/internal/parallel"
 	"rooftune/internal/vclock"
 )
 
@@ -186,6 +187,176 @@ func TestOutcomeElapsedAccountsSweepCost(t *testing.T) {
 	}
 	if total <= 0 {
 		t.Fatal("total sweep time must be positive virtual time")
+	}
+}
+
+// shardSpace is a mid-size DGEMM space: big enough that sharding has
+// real interleavings and stop condition 4 has real work, small enough to
+// keep the table test fast.
+func shardSpace() []core.Dims {
+	var out []core.Dims
+	for _, n := range []int{256, 512, 1024, 2048} {
+		for _, m := range []int{256, 1024, 4096} {
+			for _, k := range []int{64, 128, 256} {
+				out = append(out, core.Dims{N: n, M: m, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// buildShardSpecs is buildSpecs over the larger shardSpace plus a denser
+// TRIAD sweep, fresh engines per call.
+func buildShardSpecs(t *testing.T, sys hw.System, seed uint64) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, sockets := range []int{1, sys.Sockets} {
+		eng := bench.NewSimEngine(sys, seed)
+		var cases []bench.Case
+		for _, d := range shardSpace() {
+			cases = append(cases, eng.DGEMMCase(d.N, d.M, d.K, sockets))
+		}
+		specs = append(specs, Spec{Name: fmt.Sprintf("dgemm-%d", sockets), Clock: eng.Clock, Cases: cases})
+	}
+	eng := bench.NewSimEngine(sys, seed)
+	var triad []bench.Case
+	for elems := 1 << 12; elems <= 1<<24; elems <<= 2 {
+		triad = append(triad, eng.TriadCase(elems, hw.AffinityClose, 1))
+	}
+	specs = append(specs, Spec{Name: "triad", Clock: eng.Clock, Cases: triad})
+	return specs
+}
+
+// TestCaseShardInvariance is the determinism suite for within-sweep case
+// sharding: for every traversal order and shard count, each sweep's
+// winning configuration and best value must be bit-identical to strictly
+// serial evaluation, pruning must stay conservative (never more pruning
+// than serial), and sample totals must never shrink. It mirrors
+// TestRunParallelDeterminism one level down.
+func TestCaseShardInvariance(t *testing.T) {
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 1021
+	shardCounts := []int{1, 2, 4, parallel.DefaultThreads()}
+	for _, order := range []core.Order{core.OrderForward, core.OrderReverse, core.OrderRandom} {
+		base := testRunner(false)
+		base.Order = order
+		serial, err := base.Run(context.Background(), buildShardSpecs(t, sys, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardCounts {
+			r := testRunner(false)
+			r.Order = order
+			r.CaseShards = shards
+			outs, err := r.Run(context.Background(), buildShardSpecs(t, sys, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, out := range outs {
+				want := serial[i]
+				if out.Result.Best.Key != want.Result.Best.Key {
+					t.Fatalf("%v/shards=%d/%s: winner %s, serial %s",
+						order, shards, out.Name, out.Result.Best.Key, want.Result.Best.Key)
+				}
+				if out.BestValue() != want.BestValue() {
+					t.Fatalf("%v/shards=%d/%s: best value %v, serial %v (must be bit-identical)",
+						order, shards, out.Name, out.BestValue(), want.BestValue())
+				}
+				if out.Best != want.Best {
+					t.Fatalf("%v/shards=%d/%s: typed winner %+v, serial %+v",
+						order, shards, out.Name, out.Best, want.Best)
+				}
+				if out.Result.PrunedCount > want.Result.PrunedCount {
+					t.Fatalf("%v/shards=%d/%s: pruned %d > serial %d (sharded pruning must be conservative)",
+						order, shards, out.Name, out.Result.PrunedCount, want.Result.PrunedCount)
+				}
+				if out.Result.TotalSamples < want.Result.TotalSamples {
+					t.Fatalf("%v/shards=%d/%s: samples %d < serial %d",
+						order, shards, out.Name, out.Result.TotalSamples, want.Result.TotalSamples)
+				}
+				if len(out.Result.All) != len(want.Result.All) {
+					t.Fatalf("%v/shards=%d/%s: %d outcomes, serial %d",
+						order, shards, out.Name, len(out.Result.All), len(want.Result.All))
+				}
+				// Traversal-order reassembly: outcome i is the same
+				// configuration in both runs.
+				for j := range out.Result.All {
+					if out.Result.All[j].Key != want.Result.All[j].Key {
+						t.Fatalf("%v/shards=%d/%s: All[%d] = %s, serial %s",
+							order, shards, out.Name, j, out.Result.All[j].Key, want.Result.All[j].Key)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpecCaseShardsOverride(t *testing.T) {
+	// A Spec-level shard count overrides the Runner's; winners stay
+	// identical either way (that is the whole invariance contract), so
+	// the override is observable only as a green run across mixed specs.
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := testRunner(true).Run(context.Background(), buildSpecs(t, sys, 1021))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRunner(false)
+	r.CaseShards = 4
+	specs := buildSpecs(t, sys, 1021)
+	specs[0].CaseShards = 1  // force this sweep serial
+	specs[1].CaseShards = -1 // negative behaves as serial too
+	outs, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Result.Best.Key != serial[i].Result.Best.Key || out.BestValue() != serial[i].BestValue() {
+			t.Fatalf("%s: winner %s (%v), serial %s (%v)", out.Name,
+				out.Result.Best.Key, out.BestValue(),
+				serial[i].Result.Best.Key, serial[i].BestValue())
+		}
+	}
+}
+
+func TestCaseShardsHooksConcurrent(t *testing.T) {
+	// Case-evaluated hooks fire from shard workers; this exercises the
+	// fan-in under -race and checks nothing is lost or duplicated.
+	sys, err := hw.Get("2650v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu    sync.Mutex
+		cases = map[string]int{}
+	)
+	r := testRunner(false)
+	r.CaseShards = parallel.DefaultThreads()
+	r.Hooks.CaseEvaluated = func(sweep string, out *bench.Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		cases[sweep+"/"+out.Key]++
+	}
+	specs := buildSpecs(t, sys, 1021)
+	if _, err := r.Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, s := range specs {
+		want += len(s.Cases)
+	}
+	if len(cases) != want {
+		t.Fatalf("hook saw %d distinct cases, want %d", len(cases), want)
+	}
+	for key, n := range cases {
+		if n != 1 {
+			t.Fatalf("case %s evaluated %d times", key, n)
+		}
 	}
 }
 

@@ -90,10 +90,13 @@ type Result struct {
 	// SearchTime is the total tuning cost: virtual seconds for simulated
 	// engines, wall-clock for native.
 	SearchTime time.Duration
-	// Warnings name planned-but-empty sweeps: residency regions whose
-	// case list filtered to nothing under the session's bounds, so the
-	// roofline is missing their ceiling. Each was also delivered as an
-	// EventRegionEmpty progress event.
+	// Warnings flag results that need a caveat: planned-but-empty sweeps
+	// (residency regions whose case list filtered to nothing under the
+	// session's bounds, so the roofline is missing their ceiling — each
+	// also delivered as an EventRegionEmpty progress event), and sweeps
+	// whose every configuration was outer-pruned, where the reported
+	// point is a salvaged truncated partial mean rather than a measured
+	// winner.
 	Warnings []string
 }
 

@@ -23,17 +23,18 @@ type settings struct {
 	native    bool
 	targetSet bool
 
-	seed      uint64
-	budget    *bench.Budget
-	space     []core.Dims
-	spaceSet  bool
-	threads   int
-	llc       units.ByteSize
-	triadLo   units.ByteSize
-	triadHi   units.ByteSize
-	serial    bool
-	progress  func(Event)
-	workloads []string
+	seed       uint64
+	budget     *bench.Budget
+	space      []core.Dims
+	spaceSet   bool
+	threads    int
+	llc        units.ByteSize
+	triadLo    units.ByteSize
+	triadHi    units.ByteSize
+	serial     bool
+	caseShards int
+	progress   func(Event)
+	workloads  []string
 }
 
 // Option configures a Session under construction. Options are applied in
@@ -161,12 +162,38 @@ func WithSerial() Option {
 }
 
 // WithProgress installs a live progress callback. Events arrive from the
-// sweeps as they execute; the Session serialises delivery, so fn needs no
-// locking of its own, but it must return quickly — it runs on the sweep
-// goroutines' critical path.
+// sweeps as they execute; each Run fans them into one buffered channel
+// drained by a single goroutine, so fn needs no locking of its own and is
+// off the sweep workers' critical path — a briefly slow callback only
+// costs buffer space, though a persistently slow one eventually
+// back-pressures the sweeps. Within one Run, events are delivered one at
+// a time in the order they were emitted (case-evaluated events from
+// concurrent sweeps or shard workers interleave in completion order);
+// delivery across concurrent Runs of one Session is serialised too. The
+// drainer is closed and joined before Run returns, so no event arrives
+// after Run.
 func WithProgress(fn func(Event)) Option {
 	return func(s *settings) error {
 		s.progress = fn
+		return nil
+	}
+}
+
+// WithCaseShards sets how many workers evaluate configurations
+// concurrently within each sweep (default 0 = strictly serial, the
+// paper's evaluation process; 1 also means serial). Sharded workers share
+// a monotone atomic incumbent bound, so stop condition 4 keeps pruning
+// conservatively and the winning configuration and value match serial
+// execution exactly on the simulated engines — only PrunedCount and
+// TotalSamples may differ (toward less pruning, never more). Case
+// sharding requires a simulated target: native wall-clock measurement
+// would contend on the host, so New rejects it with WithNative.
+func WithCaseShards(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("rooftune: WithCaseShards: negative shard count %d", n)
+		}
+		s.caseShards = n
 		return nil
 	}
 }
@@ -191,9 +218,10 @@ func WithWorkloads(names ...string) Option {
 type Session struct {
 	cfg       settings
 	workloads []Workload
-	// progressMu serialises progress-event delivery. It lives on the
-	// Session, not the Run, so the WithProgress callback stays serialised
-	// even across concurrent Runs of one Session.
+	// progressMu serialises progress-event delivery across concurrent
+	// Runs of one Session: each Run drains its own event channel with one
+	// goroutine, and that drainer holds this mutex around the WithProgress
+	// callback so the callback never runs twice at once.
 	progressMu sync.Mutex
 }
 
@@ -248,6 +276,9 @@ func New(opts ...Option) (*Session, error) {
 	if s.triadLo > s.triadHi {
 		return nil, fmt.Errorf("rooftune: inverted TRIAD working-set bounds (lo %v > hi %v)", s.triadLo, s.triadHi)
 	}
+	if s.native && s.caseShards > 1 {
+		return nil, fmt.Errorf("rooftune: WithCaseShards(%d) requires a simulated target: concurrent wall-clock measurement would contend on the host", s.caseShards)
+	}
 	if len(s.workloads) == 0 {
 		s.workloads = []string{"dgemm", "triad"}
 	}
@@ -270,7 +301,11 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	emit := s.eventSink()
+	emit, stopEvents := s.startEvents()
+	// Every sweep goroutine is joined before runner.Run returns, so by the
+	// time this defer closes the channel no sender remains; the join below
+	// it guarantees the last event is delivered before Run returns.
+	defer stopEvents()
 
 	target, res := s.target()
 	params := workload.Params{
@@ -305,9 +340,10 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	}
 
 	runner := &sweep.Runner{
-		Budget: *s.cfg.budget,
-		Order:  core.OrderForward,
-		Serial: s.cfg.serial || s.cfg.native,
+		Budget:     *s.cfg.budget,
+		Order:      core.OrderForward,
+		Serial:     s.cfg.serial || s.cfg.native,
+		CaseShards: s.cfg.caseShards,
 	}
 	if s.cfg.progress != nil {
 		runner.Hooks = sweep.Hooks{
@@ -371,6 +407,15 @@ func (s *Session) target() (workload.Target, *Result) {
 func assembleResult(res *Result, outs []sweep.Outcome, points []Point) (*Result, error) {
 	for i, out := range outs {
 		pt := points[i]
+		if out.Result.BestPruned {
+			// The sweep's every configuration was outer-pruned (a
+			// pre-seeded incumbent, routine once shard workers race
+			// ahead), so its "winner" is the highest truncated partial
+			// mean — a salvage value, not a measurement. Say so next to
+			// the numbers it taints.
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"sweep %s: every configuration was outer-pruned; reporting the best truncated partial mean, not a measured winner", out.Name))
+		}
 		if pt.Compute {
 			cfg, err := out.DGEMM()
 			if err != nil {
@@ -460,17 +505,44 @@ type Event struct {
 	Warning string
 }
 
-// eventSink wraps the user callback with the session mutex so concurrent
-// sweeps — and concurrent Runs — deliver events one at a time. A nil
-// callback costs one nil check.
-func (s *Session) eventSink() func(Event) {
+// startEvents starts this Run's progress fan-in: emit enqueues an event
+// on a buffered channel, and a single drainer goroutine delivers events
+// to the WithProgress callback one at a time, in emission order. The
+// channel decouples sweep and shard workers from the callback — with case
+// sharding, EventCaseEvaluated volume multiplies, and a mutex straight
+// into user code would serialise every shard worker behind it. stop
+// closes the channel and joins the drainer; Run defers it, so no event is
+// delivered after Run returns. A nil callback costs one nil check.
+func (s *Session) startEvents() (emit func(Event), stop func()) {
 	fn := s.cfg.progress
 	if fn == nil {
-		return func(Event) {}
+		return func(Event) {}, func() {}
 	}
-	return func(ev Event) {
-		s.progressMu.Lock()
-		defer s.progressMu.Unlock()
-		fn(ev)
+	ch := make(chan Event, eventBuffer)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			// The mutex only serialises against other Runs of this
+			// Session; within one Run this drainer is the sole deliverer.
+			s.progressMu.Lock()
+			fn(ev)
+			s.progressMu.Unlock()
+		}
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(ch)
+			<-done
+		})
 	}
+	return func(ev Event) { ch <- ev }, stop
 }
+
+// eventBuffer is the per-Run progress channel capacity: deep enough that
+// bursts of case-evaluated events from concurrent shard workers almost
+// never block a sweep on the callback, small enough to bound memory and
+// keep a stuck callback visible as back-pressure rather than unbounded
+// growth.
+const eventBuffer = 256

@@ -7,12 +7,16 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"rooftune/internal/bench"
 	"rooftune/internal/core"
 	"rooftune/internal/hw"
+	"rooftune/internal/sweep"
 	"rooftune/internal/units"
+	"rooftune/internal/vclock"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -36,6 +40,9 @@ func TestNewValidation(t *testing.T) {
 		}, "inverted TRIAD"},
 		{"unknown workload", []Option{WithSystem("Gold 6148"), WithWorkloads("spmv")}, `"spmv"`},
 		{"empty workloads", []Option{WithSystem("Gold 6148"), WithWorkloads()}, "no workloads"},
+		{"negative case shards", []Option{WithSystem("Gold 6148"), WithCaseShards(-1)}, "negative shard count"},
+		{"native case shards", []Option{WithNative(), WithCaseShards(2)}, "simulated target"},
+		{"case shards then native", []Option{WithCaseShards(4), WithNative()}, "simulated target"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -149,23 +156,100 @@ func TestEmptyRegionWarning(t *testing.T) {
 	}
 }
 
+// blockingWorkload plans a single one-case sweep whose kernel parks in
+// Step until the test releases it. Cancellation tests get a deterministic
+// mid-sweep hook this way: progress events are delivered asynchronously
+// (a drainer goroutine), so cancelling from a callback can race with run
+// completion, but a kernel blocked inside Step cannot finish early.
+type blockingWorkload struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (w *blockingWorkload) Name() string { return "block" }
+
+func (w *blockingWorkload) Plan(Target, Params) (Plan, error) {
+	clock := vclock.NewVirtual()
+	var p Plan
+	p.Add(sweep.Spec{
+		Name:  "block",
+		Clock: clock,
+		Cases: []bench.Case{&blockCase{clock: clock, entered: w.entered, release: w.release}},
+	}, Point{Compute: true, Sockets: 1})
+	return p, nil
+}
+
+type blockCase struct {
+	clock   *vclock.Virtual
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (c *blockCase) Key() string          { return "block" }
+func (c *blockCase) Config() bench.Config { return bench.DGEMMConfig{N: 1, M: 1, K: 1, Sockets: 1} }
+func (c *blockCase) Describe() string     { return "blocking case" }
+func (c *blockCase) Metric() bench.Metric { return bench.MetricFlops }
+func (c *blockCase) NewInvocation(int) (bench.Instance, error) {
+	return &blockInstance{c: c}, nil
+}
+
+type blockInstance struct{ c *blockCase }
+
+func (i *blockInstance) Warmup() {}
+func (i *blockInstance) Step() time.Duration {
+	select {
+	case i.c.entered <- struct{}{}:
+	default:
+	}
+	<-i.c.release
+	i.c.clock.Advance(time.Millisecond)
+	return time.Millisecond
+}
+func (i *blockInstance) Work() float64 { return 1e9 }
+func (i *blockInstance) Close()        {}
+
+var (
+	blockWL     = &blockingWorkload{}
+	blockWLOnce sync.Once
+)
+
+// installBlockingWorkload registers the "block" workload once per process
+// and arms fresh channels for this test.
+func installBlockingWorkload(t *testing.T) *blockingWorkload {
+	t.Helper()
+	var regErr error
+	blockWLOnce.Do(func() { regErr = RegisterWorkload(blockWL) })
+	if regErr != nil {
+		t.Fatal(regErr)
+	}
+	blockWL.entered = make(chan struct{}, 1)
+	blockWL.release = make(chan struct{})
+	return blockWL
+}
+
 func TestRunCancellation(t *testing.T) {
 	before := runtime.NumGoroutine()
+	w := installBlockingWorkload(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var once bool
-	sess, err := New(append(tinySessionOptions(), WithProgress(func(ev Event) {
-		// Cancel from inside the run, after the first evaluated case:
-		// mid-sweep by construction.
-		if ev.Kind == EventCaseEvaluated && !once {
-			once = true
-			cancel()
-		}
-	}))...)
+	sess, err := New(WithSystemSpec(tinySystem()), WithWorkloads("block"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run(ctx)
+	type runResult struct {
+		res *Result
+		err error
+	}
+	done := make(chan runResult, 1)
+	go func() {
+		res, err := sess.Run(ctx)
+		done <- runResult{res, err}
+	}()
+	<-w.entered // a kernel execution is in flight: mid-sweep by construction
+	cancel()
+	close(w.release)
+	got := <-done
+	res, err := got.res, got.err
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -216,6 +300,69 @@ func TestSessionRerunDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("re-run diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+func TestSessionCaseShardInvariance(t *testing.T) {
+	serialSess, err := New(tinySessionOptions()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialSess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		sess, err := New(append(tinySessionOptions(), WithCaseShards(shards))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The tuned points — winning configurations and values — are
+		// shard-count-invariant. SearchTime is not compared: a sharded
+		// schedule may prune differently (only ever less), so its summed
+		// virtual cost may legitimately differ.
+		if !reflect.DeepEqual(res.Compute, serial.Compute) {
+			t.Fatalf("shards=%d: compute points diverged:\n%+v\nserial:\n%+v", shards, res.Compute, serial.Compute)
+		}
+		if !reflect.DeepEqual(res.Memory, serial.Memory) {
+			t.Fatalf("shards=%d: memory points diverged:\n%+v\nserial:\n%+v", shards, res.Memory, serial.Memory)
+		}
+		if len(res.Warnings) != len(serial.Warnings) {
+			t.Fatalf("shards=%d: warnings %v, serial %v", shards, res.Warnings, serial.Warnings)
+		}
+	}
+}
+
+func TestAssembleResultFlagsSalvagedWinner(t *testing.T) {
+	// A sweep whose every configuration was outer-pruned reports a
+	// truncated partial mean as its best; the session must say so instead
+	// of letting the salvage value pose as a measurement.
+	out := &bench.Outcome{
+		Key:    "dgemm/1/512x512x128",
+		Config: bench.DGEMMConfig{N: 512, M: 512, K: 128, Sockets: 1},
+		Metric: bench.MetricFlops,
+		Mean:   1e9,
+		Pruned: true,
+	}
+	sweeps := []sweep.Outcome{{
+		Name:   "dgemm-1",
+		Result: &core.Result{Best: out, BestPruned: true, All: []*bench.Outcome{out}, PrunedCount: 1},
+		Best:   out.Config,
+	}}
+	points := []Point{{Compute: true, Sockets: 1}}
+	res, err := assembleResult(&Result{SystemName: "test", Engine: "sim:test"}, sweeps, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "outer-pruned") {
+		t.Fatalf("warnings = %v, want one flagging the salvaged winner", res.Warnings)
+	}
+	if !strings.Contains(res.Summary(), "outer-pruned") {
+		t.Fatalf("summary must surface the salvage warning:\n%s", res.Summary())
 	}
 }
 
