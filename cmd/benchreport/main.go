@@ -1,0 +1,122 @@
+// Command benchreport distills a `go test -json -bench` stream into the
+// benchstat-compatible text format: the goos/goarch/pkg/cpu preamble and
+// the Benchmark result lines, nothing else. CI tees the raw JSON to the
+// BENCH_pr artifact and runs this over it, so each PR publishes both the
+// machine-readable stream and a diffable text summary — the seed of the
+// repository's performance trajectory.
+//
+//	go test -json -bench . -benchtime 1x -run '^$' ./... > BENCH_pr.json
+//	go run ./cmd/benchreport -in BENCH_pr.json -out BENCH_pr.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// event is the subset of test2json's record that benchmarking emits.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+func main() {
+	in := flag.String("in", "", "test2json input file (default stdin)")
+	out := flag.String("out", "", "benchstat-format output file (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := report(r, w); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}
+
+// report reassembles each package's output stream (test2json splits a
+// single benchmark result line across several events, and packages
+// interleave), then keeps the preamble lines benchstat keys results on
+// and the result lines themselves. Corrupt JSON fails loudly rather
+// than producing a silently truncated report.
+func report(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var order []string
+	bufs := map[string]*strings.Builder{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("malformed test2json line %q: %v", line, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		buf, ok := bufs[ev.Package]
+		if !ok {
+			buf = &strings.Builder{}
+			bufs[ev.Package] = buf
+			order = append(order, ev.Package)
+		}
+		buf.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	benches := 0
+	for _, pkg := range order {
+		for _, txt := range strings.Split(bufs[pkg].String(), "\n") {
+			if keep(txt) {
+				if strings.HasPrefix(txt, "Benchmark") {
+					benches++
+				}
+				fmt.Fprintln(w, txt)
+			}
+		}
+	}
+	if benches == 0 {
+		return fmt.Errorf("no benchmark results in input — did the bench run execute?")
+	}
+	return nil
+}
+
+// keep reports whether a test output line belongs in a benchstat file.
+func keep(line string) bool {
+	for _, prefix := range []string{"goos:", "goarch:", "pkg:", "cpu:"} {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	// Result lines ("BenchmarkMulChunked-8 ...") have at least a name and
+	// an iteration count; the bare "BenchmarkX" progress echo does not.
+	return strings.HasPrefix(line, "Benchmark") && len(strings.Fields(line)) >= 2
+}

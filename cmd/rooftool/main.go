@@ -9,6 +9,7 @@
 //	rooftool -native -progress                # tune the host, live output
 //	rooftool -system 2650v4 -format svg -out roofline.svg
 //	rooftool -workloads dgemm                 # compute roof only
+//	rooftool -workloads spmv,stencil          # §VII kernels between TRIAD and DGEMM
 //	rooftool -list                            # list known systems
 package main
 
@@ -26,16 +27,20 @@ import (
 
 func main() {
 	var (
-		system    = flag.String("system", "Gold 6148", "simulated system name (see -list)")
-		native    = flag.Bool("native", false, "tune the host with real Go kernels instead of simulating")
-		seed      = flag.Uint64("seed", 1021, "noise seed for simulated engines")
-		format    = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
-		out       = flag.String("out", "", "output file (default stdout)")
-		threads   = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
-		shards    = flag.Int("case-shards", 0, "workers evaluating cases concurrently within each sweep (simulated targets only; 0 = serial)")
-		workloads = flag.String("workloads", "", "comma-separated workloads to run (default: dgemm,triad; see -list)")
-		progress  = flag.Bool("progress", false, "stream live tuning progress to stderr")
-		list      = flag.Bool("list", false, "list known systems and workloads, then exit")
+		system  = flag.String("system", "Gold 6148", "simulated system name (see -list)")
+		native  = flag.Bool("native", false, "tune the host with real Go kernels instead of simulating")
+		seed    = flag.Uint64("seed", 1021, "noise seed for simulated engines")
+		format  = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
+		out     = flag.String("out", "", "output file (default stdout)")
+		threads = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
+		shards  = flag.Int("case-shards", 0, "workers evaluating cases concurrently within each sweep (simulated targets only; 0 = serial)")
+		// The usage text asks the registry rather than hand-maintaining a
+		// list: a newly registered workload shows up here on its own.
+		workloads = flag.String("workloads", "", fmt.Sprintf(
+			"comma-separated workloads to run (default: dgemm,triad; registered: %s)",
+			strings.Join(rooftune.WorkloadNames(), ",")))
+		progress = flag.Bool("progress", false, "stream live tuning progress to stderr")
+		list     = flag.Bool("list", false, "list known systems and workloads, then exit")
 	)
 	flag.Parse()
 

@@ -1,0 +1,89 @@
+// Command workloadcheck runs every registered workload through the
+// registry's conformance contract on both tuning targets — a simulated
+// paper system and the native host — and exits non-zero on any
+// violation. CI runs it as the workload-conformance job, so a future
+// workload package cannot register half-implemented: planning failures,
+// empty sweeps, duplicate case keys, nil configs and mislanded points
+// are caught at merge time, not inside a user's session.
+//
+//	go run ./cmd/workloadcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rooftune"
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/hw"
+	"rooftune/internal/units"
+	"rooftune/internal/workload"
+)
+
+func main() {
+	names := rooftune.WorkloadNames()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "workloadcheck: no workloads registered")
+		os.Exit(1)
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			// The registry rejects duplicates; reaching this means the
+			// registry itself broke.
+			fmt.Fprintf(os.Stderr, "workloadcheck: duplicate registration %q\n", name)
+			os.Exit(1)
+		}
+		seen[name] = true
+	}
+
+	sys, err := hw.Get("Gold 6148")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workloadcheck:", err)
+		os.Exit(1)
+	}
+	// Planning-only shapes: Plan builds cases but never executes kernels,
+	// so these sizes keep even the native matrix synthesis instant.
+	params := workload.Params{
+		Seed:          1021,
+		Space:         []core.Dims{{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128}},
+		TriadLo:       3 * units.KiB,
+		TriadHi:       768 * units.MiB,
+		AssumedLLC:    32 * units.MiB,
+		Threads:       2,
+		SpMVN:         1 << 14,
+		SpMVNNZPerRow: 8,
+		StencilNX:     512,
+		StencilNY:     512,
+	}
+	targets := []struct {
+		name string
+		t    workload.Target
+	}{
+		{"simulated " + sys.Name, workload.Target{Sys: &sys}},
+		{"native", workload.Target{Native: bench.NewNativeEngine(params.Threads)}},
+	}
+
+	failures := 0
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workloadcheck:", err)
+			failures++
+			continue
+		}
+		for _, tgt := range targets {
+			errs := workload.Conform(w, tgt.t, params)
+			for _, cerr := range errs {
+				fmt.Fprintf(os.Stderr, "workloadcheck: %s target: %v\n", tgt.name, cerr)
+			}
+			failures += len(errs)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "workloadcheck: %d violation(s) across %d workload(s)\n", failures, len(names))
+		os.Exit(1)
+	}
+	fmt.Printf("workloadcheck: %d workload(s) conformant on both targets: %v\n", len(names), names)
+}

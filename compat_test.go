@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rooftune/internal/bench"
 	"rooftune/internal/core"
 	"rooftune/internal/units"
 )
@@ -89,10 +90,19 @@ func TestSummaryGolden(t *testing.T) {
 		SystemName: "demo",
 		Engine:     "sim:demo",
 		SearchTime: 90 * time.Second,
-		Compute: []ComputePoint{{
-			Sockets: 1, Dims: core.Dims{N: 4000, M: 512, K: 128},
-			Flops: 1400e9, Theoretical: 1536e9,
-		}},
+		Compute: []ComputePoint{
+			{
+				// No Label: pins the legacy fallback rendering.
+				Sockets: 1, Dims: core.Dims{N: 4000, M: 512, K: 128},
+				Flops: 1400e9, Theoretical: 1536e9,
+			},
+			{
+				Label: "SpMV", Sockets: 1,
+				Config: bench.SpMVConfig{N: 1 << 18, NNZPerRow: 16, ChunkRows: 512, Sockets: 1},
+				Desc:   "n=262144 nnz/row=16 chunk=512 sockets=1",
+				Flops:  9.6e9, Intensity: 0.155,
+			},
+		},
 		Memory: []MemoryPoint{
 			{Sockets: 1, Region: "DRAM", Elements: 1 << 24, Bandwidth: 60e9, Theoretical: 76.8e9},
 			{Sockets: 1, Region: "L3", Elements: 1 << 18, Bandwidth: 300e9},

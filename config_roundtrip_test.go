@@ -1,0 +1,196 @@
+package rooftune
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/sweep"
+)
+
+// configRoundTrips is the table of every bench.Config variant and how
+// its sweep winner must land in the Result. TestConfigVariantsExhaustive
+// counts the variants declared in internal/bench and fails when this
+// table falls behind — so a new variant without result-assembly support
+// fails a test, not a user.
+var configRoundTrips = []struct {
+	name  string
+	cfg   bench.Config
+	point Point
+	check func(t *testing.T, res *Result)
+}{
+	{
+		name:  "DGEMMConfig",
+		cfg:   bench.DGEMMConfig{N: 1000, M: 4096, K: 128, Sockets: 1},
+		point: Point{Compute: true, Sockets: 1},
+		check: func(t *testing.T, res *Result) {
+			c := res.Compute[0]
+			if c.Label != "DGEMM" {
+				t.Fatalf("label = %q", c.Label)
+			}
+			if c.Dims != (core.Dims{N: 1000, M: 4096, K: 128}) {
+				t.Fatalf("dims = %v", c.Dims)
+			}
+			if cfg, ok := c.Config.(bench.DGEMMConfig); !ok || cfg.N != 1000 {
+				t.Fatalf("config = %#v", c.Config)
+			}
+		},
+	},
+	{
+		name:  "TriadConfig",
+		cfg:   bench.TriadConfig{Elements: 1 << 20, Sockets: 2},
+		point: Point{Sockets: 2, Region: "DRAM"},
+		check: func(t *testing.T, res *Result) {
+			m := res.Memory[0]
+			if m.Elements != 1<<20 || m.Region != "DRAM" || m.Sockets != 2 {
+				t.Fatalf("memory point = %+v", m)
+			}
+		},
+	},
+	{
+		name:  "SpMVConfig",
+		cfg:   bench.SpMVConfig{N: 1 << 18, NNZPerRow: 16, ChunkRows: 512, Sockets: 1},
+		point: Point{Compute: true, Label: "SpMV", Sockets: 1, Intensity: 0.155},
+		check: func(t *testing.T, res *Result) {
+			c := res.Compute[0]
+			if c.Label != "SpMV" || c.Intensity != 0.155 {
+				t.Fatalf("compute point = %+v", c)
+			}
+			if c.Dims != (core.Dims{}) {
+				t.Fatalf("SpMV point carries DGEMM dims %v", c.Dims)
+			}
+			cfg, ok := c.Config.(bench.SpMVConfig)
+			if !ok || cfg.ChunkRows != 512 || cfg.NNZPerRow != 16 {
+				t.Fatalf("config = %#v", c.Config)
+			}
+		},
+	},
+	{
+		name:  "StencilConfig",
+		cfg:   bench.StencilConfig{NX: 2048, NY: 2048, TileX: 1024, TileY: 8, Sockets: 1},
+		point: Point{Compute: true, Label: "stencil", Sockets: 1, Intensity: 0.25},
+		check: func(t *testing.T, res *Result) {
+			c := res.Compute[0]
+			if c.Label != "stencil" || c.Intensity != 0.25 {
+				t.Fatalf("compute point = %+v", c)
+			}
+			cfg, ok := c.Config.(bench.StencilConfig)
+			if !ok || cfg.TileX != 1024 || cfg.TileY != 8 {
+				t.Fatalf("config = %#v", c.Config)
+			}
+		},
+	},
+}
+
+// outcomeFor fakes one finished sweep whose winner carries cfg.
+func outcomeFor(cfg bench.Config, metric bench.Metric) sweep.Outcome {
+	best := &bench.Outcome{
+		Key:      "fake",
+		Describe: "fake winner",
+		Metric:   metric,
+		Config:   cfg,
+		Mean:     42e9,
+	}
+	return sweep.Outcome{
+		Name: "fake sweep",
+		Result: &core.Result{
+			Best:    best,
+			All:     []*bench.Outcome{best},
+			Elapsed: time.Second,
+		},
+		Best: cfg,
+	}
+}
+
+// TestConfigRoundTrip drives every variant through the same result
+// assembly Session.Run uses and checks the winner's typed identity
+// survives into the landed point.
+func TestConfigRoundTrip(t *testing.T) {
+	for _, tc := range configRoundTrips {
+		t.Run(tc.name, func(t *testing.T) {
+			metric := bench.MetricBandwidth
+			if tc.point.Compute {
+				metric = bench.MetricFlops
+			}
+			res, err := assembleResult(
+				&Result{SystemName: "demo", Engine: "fake"},
+				[]sweep.Outcome{outcomeFor(tc.cfg, metric)},
+				[]Point{tc.point},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(res.Compute) + len(res.Memory); got != 1 {
+				t.Fatalf("landed %d points, want 1", got)
+			}
+			if res.SearchTime != time.Second {
+				t.Fatalf("search time = %v", res.SearchTime)
+			}
+			tc.check(t, res)
+		})
+	}
+}
+
+// TestConfigVariantUnsupported pins the failure mode: a config the
+// assembly does not know must surface as an error naming the type, not
+// land silently mislabelled.
+func TestConfigVariantUnsupported(t *testing.T) {
+	_, err := assembleResult(
+		&Result{},
+		[]sweep.Outcome{outcomeFor(unknownConfig{}, bench.MetricFlops)},
+		[]Point{{Compute: true, Sockets: 1}},
+	)
+	if err == nil {
+		t.Fatal("unknown compute config must fail assembly")
+	}
+}
+
+type unknownConfig struct{ bench.DGEMMConfig }
+
+// TestConfigVariantsExhaustive parses internal/bench and counts the
+// declared bench.Config variants (the benchConfig marker methods). Every
+// variant must appear in configRoundTrips: adding a fifth variant
+// without teaching the result assembly — and this table — about it
+// fails here instead of erroring in a user's session.
+func TestConfigVariantsExhaustive(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "internal/bench", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Name.Name != "benchConfig" || fn.Recv == nil || len(fn.Recv.List) != 1 {
+					continue
+				}
+				if id, ok := fn.Recv.List[0].Type.(*ast.Ident); ok {
+					declared[id.Name] = true
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no benchConfig methods — did the marker method move?")
+	}
+	covered := map[string]bool{}
+	for _, tc := range configRoundTrips {
+		covered[tc.name] = true
+	}
+	for name := range declared {
+		if !covered[name] {
+			t.Errorf("bench.Config variant %s has no round-trip coverage: add it to configRoundTrips and to assembleResult", name)
+		}
+	}
+	for name := range covered {
+		if !declared[name] {
+			t.Errorf("round-trip table covers %s, which internal/bench no longer declares", name)
+		}
+	}
+}

@@ -5,9 +5,17 @@
 // "scale", and runs it alongside the built-in DGEMM and TRIAD workloads —
 // the extra bandwidth ceiling simply appears in the Result and roofline.
 //
-// The same mechanism is how real additions land (SpMV, stencils,
-// per-cache-level TRIAD residency regions): a new package implementing
-// rooftune.Workload, one RegisterWorkload call, and WithWorkloads.
+// The same mechanism is how the real additions landed: the built-in
+// "spmv" and "stencil" workloads are exactly this pattern at full scale
+// — see internal/workloads/spmv for the reference implementation (a
+// native kernel package, a calibrated simulated model, a typed
+// bench.Config variant carried through the pipeline, and a Point whose
+// Intensity lands the winner between TRIAD and DGEMM on the roofline's
+// intensity axis). Per-cache-level TRIAD residency regions would follow
+// the same route: a new package implementing rooftune.Workload, one
+// RegisterWorkload call, and WithWorkloads. Registered workloads must
+// pass the registry conformance contract (internal/workload.Conform,
+// enforced in CI by cmd/workloadcheck).
 //
 //	go run ./examples/custom-workload
 package main

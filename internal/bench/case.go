@@ -30,7 +30,10 @@ func (m Metric) Scale(v float64) float64 { return v / 1e9 }
 // evaluator copies it from Case onto Outcome, so search winners are
 // recovered as structured values instead of being re-parsed out of the
 // string Key — key-format drift can no longer silently zero a result.
-// It is a closed sum: DGEMMConfig and TriadConfig.
+// It is a closed sum: DGEMMConfig, TriadConfig, SpMVConfig and
+// StencilConfig. Adding a variant means teaching the session's result
+// assembly about it; the root package's config round-trip test counts
+// the benchConfig methods declared here and fails if the two drift.
 type Config interface {
 	benchConfig()
 }
@@ -63,6 +66,38 @@ type TriadConfig struct {
 }
 
 func (TriadConfig) benchConfig() {}
+
+// SpMVConfig identifies a CSR SpMV configuration: the synthetic matrix's
+// shape plus the tuned scheduling parameters.
+type SpMVConfig struct {
+	// N is the matrix dimension and NNZPerRow the stored elements per
+	// row; together they fix the kernel's operational intensity.
+	N, NNZPerRow int
+	// ChunkRows is the tuned rows-per-task granularity.
+	ChunkRows int
+	// Sockets is the simulated socket count (1 for native builds).
+	Sockets int
+	// Threads is the tuned native worker count (0 for simulated builds,
+	// where core allocation is the socket count).
+	Threads int
+}
+
+func (SpMVConfig) benchConfig() {}
+
+// StencilConfig identifies a 2D 5-point Jacobi configuration: the grid
+// shape plus the tuned tile dimensions.
+type StencilConfig struct {
+	// NX and NY are the grid dimensions.
+	NX, NY int
+	// TileX and TileY are the tuned tile dimensions.
+	TileX, TileY int
+	// Sockets is the simulated socket count (1 for native builds).
+	Sockets int
+	// Threads is the tuned native worker count (0 for simulated builds).
+	Threads int
+}
+
+func (StencilConfig) benchConfig() {}
 
 // Case is one benchmark configuration: a point in the autotuner's search
 // space bound to an engine that can execute (or simulate) it. The

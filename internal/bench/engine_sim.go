@@ -6,6 +6,8 @@ import (
 
 	"rooftune/internal/hw"
 	"rooftune/internal/simblas"
+	"rooftune/internal/simspmv"
+	"rooftune/internal/simstencil"
 	"rooftune/internal/simstream"
 	"rooftune/internal/units"
 	"rooftune/internal/vclock"
@@ -15,11 +17,13 @@ import (
 // models of a paper system, advancing a virtual clock. Identical seeds
 // replay identical experiments.
 type SimEngine struct {
-	Sys   hw.System
-	Clock *vclock.Virtual
-	DGEMM *simblas.Model
-	Triad *simstream.Model
-	Seed  uint64
+	Sys     hw.System
+	Clock   *vclock.Virtual
+	DGEMM   *simblas.Model
+	Triad   *simstream.Model
+	SpMV    *simspmv.Model
+	Stencil *simstencil.Model
+	Seed    uint64
 }
 
 // NewSimEngine builds a simulated engine for the system with the given
@@ -27,11 +31,13 @@ type SimEngine struct {
 // for identical (configuration, invocation, iteration) triples.
 func NewSimEngine(sys hw.System, seed uint64) *SimEngine {
 	return &SimEngine{
-		Sys:   sys,
-		Clock: vclock.NewVirtual(),
-		DGEMM: simblas.NewModel(sys),
-		Triad: simstream.NewModel(sys),
-		Seed:  seed,
+		Sys:     sys,
+		Clock:   vclock.NewVirtual(),
+		DGEMM:   simblas.NewModel(sys),
+		Triad:   simstream.NewModel(sys),
+		SpMV:    simspmv.NewModel(sys),
+		Stencil: simstencil.NewModel(sys),
+		Seed:    seed,
 	}
 }
 

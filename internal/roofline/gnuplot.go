@@ -2,7 +2,6 @@ package roofline
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
 	"rooftune/internal/units"
@@ -29,20 +28,36 @@ func (m *Model) RenderGnuplot() string {
 
 	mem, comp := m.SortedCeilings()
 	var plots []string
-	// One curve per (memory, top-compute) pair: min(B*I, Fp) in GFLOP/s.
-	top := comp[0]
-	for _, mc := range mem {
-		plots = append(plots, fmt.Sprintf("min(%g*x, %g) title %q",
-			mc.Bandwidth.GBps(), top.Flops.GFLOPS(), mc.Name))
+	switch {
+	case len(comp) > 0:
+		// One curve per (memory, top-compute) pair: min(B*I, Fp) in GFLOP/s.
+		top := comp[0]
+		for _, mc := range mem {
+			plots = append(plots, fmt.Sprintf("min(%g*x, %g) title %q",
+				mc.Bandwidth.GBps(), top.Flops.GFLOPS(), mc.Name))
+		}
+		// Flat lines for the remaining compute roofs.
+		for _, cc := range comp[1:] {
+			plots = append(plots, fmt.Sprintf("%g title %q", cc.Flops.GFLOPS(), cc.Name))
+		}
+	case len(mem) > 0:
+		// No compute roof to cap the diagonals: plot the bandwidth lines.
+		for _, mc := range mem {
+			plots = append(plots, fmt.Sprintf("%g*x title %q", mc.Bandwidth.GBps(), mc.Name))
+		}
 	}
-	// Flat lines for the remaining compute roofs.
-	for _, cc := range comp[1:] {
-		plots = append(plots, fmt.Sprintf("%g title %q", cc.Flops.GFLOPS(), cc.Name))
-	}
-	sb.WriteString("min(a,b) = (a < b) ? a : b\n")
-	sb.WriteString("plot " + strings.Join(plots, ", \\\n     ") + "\n")
 
-	// Application points as labelled markers.
+	// Application points as labelled markers. A ceiling-free model (an
+	// SpMV/stencil-only session) is points-only: labels need a plot
+	// command to attach to, so fall back to an invisible curve — and an
+	// explicit yrange, because with no defined samples gnuplot's
+	// autoscale would abort ("all points y value undefined") before
+	// drawing the labels.
+	if len(plots) == 0 {
+		loF, hiF := m.yRange(loI)
+		fmt.Fprintf(&sb, "set yrange [%g:%g]\n", loF/1e9, hiF/1e9)
+		plots = append(plots, "1/0 notitle")
+	}
 	for i, p := range m.Points {
 		if p.Intensity <= 0 || p.Flops <= 0 {
 			continue
@@ -50,6 +65,8 @@ func (m *Model) RenderGnuplot() string {
 		fmt.Fprintf(&sb, "set label %d %q at %g,%g point pt 7\n",
 			i+1, p.Name, float64(p.Intensity), p.Flops.GFLOPS())
 	}
+	sb.WriteString("min(a,b) = (a < b) ? a : b\n")
+	sb.WriteString("plot " + strings.Join(plots, ", \\\n     ") + "\n")
 	return sb.String()
 }
 
@@ -76,13 +93,16 @@ func (m *Model) Summary() string {
 	}
 	for _, p := range m.Points {
 		att := m.AttainableMax(p.Intensity)
-		frac := math.NaN()
 		if att > 0 {
-			frac = float64(p.Flops) / float64(att)
+			fmt.Fprintf(&sb, "point %-10s I=%.4g: %s (%.0f%% of attainable, %s)\n",
+				p.Name, float64(p.Intensity), p.Flops,
+				100*float64(p.Flops)/float64(att), boundAgainstBest(m, p.Intensity))
+			continue
 		}
-		fmt.Fprintf(&sb, "point %-10s I=%.4g: %s (%.0f%% of attainable, %s)\n",
-			p.Name, float64(p.Intensity), p.Flops, 100*frac,
-			boundAgainstBest(m, p.Intensity))
+		// No ceilings (an SpMV/stencil-only session): there is no
+		// attainable bound to compare against, so report the measurement
+		// alone instead of a NaN percentage.
+		fmt.Fprintf(&sb, "point %-10s I=%.4g: %s\n", p.Name, float64(p.Intensity), p.Flops)
 	}
 	return sb.String()
 }

@@ -20,21 +20,7 @@ func (m *Model) RenderASCII(width, height int) string {
 		height = 12
 	}
 	loI, hiI := m.intensityRange()
-
-	// Y range: from well under the lowest roofline start to the top roof.
-	var topF float64
-	for _, c := range m.Compute {
-		topF = math.Max(topF, float64(c.Flops))
-	}
-	minB := math.Inf(1)
-	for _, c := range m.Memory {
-		minB = math.Min(minB, float64(c.Bandwidth))
-	}
-	loF := minB * loI
-	hiF := topF * 2
-	if loF <= 0 || math.IsInf(loF, 0) {
-		loF = 1e9
-	}
+	loF, hiF := m.yRange(loI)
 
 	grid := make([][]byte, height)
 	for r := range grid {
@@ -120,15 +106,7 @@ func (m *Model) RenderSVG(width, height int) string {
 	plotW, plotH := float64(width-2*margin), float64(height-2*margin)
 
 	loI, hiI := m.intensityRange()
-	var topF float64
-	for _, c := range m.Compute {
-		topF = math.Max(topF, float64(c.Flops))
-	}
-	minB := math.Inf(1)
-	for _, c := range m.Memory {
-		minB = math.Min(minB, float64(c.Bandwidth))
-	}
-	loF, hiF := minB*loI, topF*2
+	loF, hiF := m.yRange(loI)
 
 	toXY := func(i, f float64) (float64, float64) {
 		x := margin + plotW*(math.Log10(i)-math.Log10(loI))/(math.Log10(hiI)-math.Log10(loI))
@@ -188,6 +166,39 @@ func (m *Model) RenderSVG(width, height int) string {
 	}
 	sb.WriteString("</svg>\n")
 	return sb.String()
+}
+
+// yRange returns the log-plot Y bounds: from well under the lowest
+// roofline start (or lowest application point — a model of measured
+// kernels with no ceilings, e.g. an SpMV/stencil-only session, must
+// still frame its points) up to above the top roof or point. The bounds
+// are always positive and ordered, so the log mapping never degenerates.
+func (m *Model) yRange(loI float64) (loF, hiF float64) {
+	var topF float64
+	for _, c := range m.Compute {
+		topF = math.Max(topF, float64(c.Flops))
+	}
+	for _, p := range m.Points {
+		topF = math.Max(topF, float64(p.Flops))
+	}
+	minB := math.Inf(1)
+	for _, c := range m.Memory {
+		minB = math.Min(minB, float64(c.Bandwidth))
+	}
+	loF = minB * loI
+	for _, p := range m.Points {
+		if f := float64(p.Flops); f > 0 {
+			loF = math.Min(loF, f/4)
+		}
+	}
+	hiF = topF * 2
+	if loF <= 0 || math.IsInf(loF, 0) {
+		loF = 1e9
+	}
+	if hiF <= loF {
+		hiF = loF * 1e3
+	}
+	return loF, hiF
 }
 
 func escapeXML(s string) string {

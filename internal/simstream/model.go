@@ -175,11 +175,21 @@ func (m *Model) SteadyBandwidth(elems int, aff hw.Affinity, sockets int) units.B
 	if elems <= 0 {
 		return 0
 	}
+	return m.SteadyBandwidthBytes(units.TriadBytes(elems), aff, sockets)
+}
+
+// SteadyBandwidthBytes is SteadyBandwidth for an arbitrary working set of
+// w bytes. It is the residency-curve primitive the derived kernel models
+// (simspmv, simstencil) build on: any streaming kernel's service rate is
+// this curve evaluated at its working set, scaled by the kernel's own
+// access-pattern efficiency.
+func (m *Model) SteadyBandwidthBytes(w float64, aff hw.Affinity, sockets int) units.Bandwidth {
+	if w <= 0 {
+		return 0
+	}
 	p := m.ParamsFor(sockets)
 	sEff := m.effectiveSockets(aff, sockets)
 	scale := sEff / float64(clampSockets(sockets, m.Sys.Sockets))
-
-	w := float64(units.TriadBytes(elems))
 	l1 := float64(m.Sys.L1PerCore) * float64(m.Sys.Cores(sockets))
 	l2 := float64(m.Sys.L2PerCore) * float64(m.Sys.Cores(sockets))
 	l3 := float64(m.Sys.L3Total(sockets))

@@ -73,6 +73,24 @@ func (o *Outcome) Triad() (bench.TriadConfig, error) {
 	return cfg, nil
 }
 
+// SpMV returns the winner as an SpMV configuration.
+func (o *Outcome) SpMV() (bench.SpMVConfig, error) {
+	cfg, ok := o.Best.(bench.SpMVConfig)
+	if !ok {
+		return cfg, fmt.Errorf("sweep: %s winner has config %T, want SpMV", o.Name, o.Best)
+	}
+	return cfg, nil
+}
+
+// Stencil returns the winner as a stencil configuration.
+func (o *Outcome) Stencil() (bench.StencilConfig, error) {
+	cfg, ok := o.Best.(bench.StencilConfig)
+	if !ok {
+		return cfg, fmt.Errorf("sweep: %s winner has config %T, want stencil", o.Name, o.Best)
+	}
+	return cfg, nil
+}
+
 // Hooks observe sweep execution. Sweeps may run concurrently, so every
 // callback must be safe for concurrent use; all callbacks are optional.
 // They exist to drive live progress output (the session layer adapts them

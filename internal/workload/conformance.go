@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"rooftune/internal/bench"
+)
+
+// Conform runs one workload through the registry's behavioural contract
+// for one target and reports every violation. It is the check behind the
+// CI workload-conformance job (cmd/workloadcheck): a workload that
+// registers but plans malformed sweeps — empty case lists, duplicate
+// keys, configs missing their typed identity, points that land nowhere —
+// would otherwise only fail deep inside a user's session run.
+//
+// The contract, per target:
+//
+//   - Plan must succeed and contribute something: at least one sweep, or
+//     a warning naming each region that filtered empty.
+//   - Every planned sweep has a name, a clock, and at least one case.
+//   - Every case has a unique non-empty Key, a non-empty Describe, and a
+//     non-nil typed Config — the identity the session recovers winners
+//     through.
+//   - Cases within a sweep agree on the Metric, and the Metric matches
+//     the sweep's Point: FLOP/s winners land on the compute side,
+//     bandwidth winners need a Region to land in.
+func Conform(w Workload, t Target, p Params) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	name := w.Name()
+	if name == "" {
+		fail("workload %T: empty name", w)
+		name = fmt.Sprintf("%T", w)
+	}
+
+	plan, err := w.Plan(t, p)
+	if err != nil {
+		fail("%s: Plan failed: %v", name, err)
+		return errs
+	}
+	if len(plan.Sweeps) == 0 && len(plan.Warnings) == 0 {
+		fail("%s: Plan contributed no sweeps and no warnings — a silent no-op", name)
+	}
+	for i, pl := range plan.Sweeps {
+		sweepName := pl.Spec.Name
+		if sweepName == "" {
+			fail("%s: sweep %d has no name", name, i)
+			sweepName = fmt.Sprintf("sweep %d", i)
+		}
+		if pl.Spec.Clock == nil {
+			fail("%s: %s has no clock — its search cost would be unaccounted", name, sweepName)
+		}
+		if len(pl.Spec.Cases) == 0 {
+			fail("%s: %s has no cases — empty regions must Warnf instead", name, sweepName)
+			continue
+		}
+		pt := pl.Point
+		if !pt.Compute && pt.Region == "" {
+			fail("%s: %s plans a memory point with no Region — its winner would land unlabelled", name, sweepName)
+		}
+		if pt.Compute && pt.Region != "" {
+			fail("%s: %s plans a compute point with Region %q", name, sweepName, pt.Region)
+		}
+		if pt.Sockets < 1 {
+			fail("%s: %s point has socket count %d", name, sweepName, pt.Sockets)
+		}
+		if pt.Intensity < 0 {
+			fail("%s: %s point has negative intensity %v", name, sweepName, pt.Intensity)
+		}
+		keys := make(map[string]int, len(pl.Spec.Cases))
+		metric := pl.Spec.Cases[0].Metric()
+		wantFlops := pt.Compute
+		for j, c := range pl.Spec.Cases {
+			key := c.Key()
+			if key == "" {
+				fail("%s: %s case %d has an empty key", name, sweepName, j)
+			} else if prev, dup := keys[key]; dup {
+				fail("%s: %s cases %d and %d share key %q", name, sweepName, prev, j, key)
+			} else {
+				keys[key] = j
+			}
+			if c.Describe() == "" {
+				fail("%s: %s case %d has no description", name, sweepName, j)
+			}
+			if c.Config() == nil {
+				fail("%s: %s case %q has a nil Config — its win could not be recovered", name, sweepName, key)
+			}
+			if c.Metric() != metric {
+				fail("%s: %s mixes metrics (%v and %v)", name, sweepName, metric, c.Metric())
+			}
+		}
+		if isFlops := metric == bench.MetricFlops; isFlops != wantFlops {
+			fail("%s: %s measures %s but its point lands on the %s side",
+				name, sweepName, metric.Unit(), side(pt.Compute))
+		}
+	}
+	return errs
+}
+
+func side(compute bool) string {
+	if compute {
+		return "compute"
+	}
+	return "memory"
+}

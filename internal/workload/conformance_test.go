@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/sweep"
+	"rooftune/internal/vclock"
+)
+
+// fakeCase is a minimal conforming bench.Case.
+type fakeCase struct {
+	key    string
+	metric bench.Metric
+	cfg    bench.Config
+}
+
+func (c fakeCase) Key() string          { return c.key }
+func (c fakeCase) Config() bench.Config { return c.cfg }
+func (c fakeCase) Describe() string     { return "fake " + c.key }
+func (c fakeCase) Metric() bench.Metric { return c.metric }
+func (c fakeCase) NewInvocation(int) (bench.Instance, error) {
+	return nil, nil
+}
+
+// fakeWorkload plans whatever the test installs.
+type fakeWorkload struct {
+	name string
+	plan Plan
+	err  error
+}
+
+func (w fakeWorkload) Name() string                      { return w.name }
+func (w fakeWorkload) Plan(Target, Params) (Plan, error) { return w.plan, w.err }
+
+func goodSweep(metric bench.Metric, keys ...string) sweep.Spec {
+	cases := make([]bench.Case, len(keys))
+	for i, k := range keys {
+		cases[i] = fakeCase{key: k, metric: metric, cfg: bench.TriadConfig{Elements: i + 1}}
+	}
+	return sweep.Spec{Name: "fake sweep", Clock: vclock.NewVirtual(), Cases: cases}
+}
+
+func TestConformAcceptsWellFormedPlans(t *testing.T) {
+	var plan Plan
+	plan.Add(goodSweep(bench.MetricBandwidth, "a", "b"), Point{Sockets: 1, Region: "DRAM"})
+	plan.Add(goodSweep(bench.MetricFlops, "c"), Point{Compute: true, Sockets: 1, Label: "fake"})
+	plan.Warnf("a region filtered empty")
+	if errs := Conform(fakeWorkload{name: "ok", plan: plan}, Target{}, Params{}); len(errs) != 0 {
+		t.Fatalf("well-formed plan rejected: %v", errs)
+	}
+}
+
+func TestConformCatchesViolations(t *testing.T) {
+	dupe := goodSweep(bench.MetricFlops, "x", "x")
+	noClock := goodSweep(bench.MetricFlops, "y")
+	noClock.Clock = nil
+	empty := sweep.Spec{Name: "empty", Clock: vclock.NewVirtual()}
+	mixed := sweep.Spec{Name: "mixed", Clock: vclock.NewVirtual(), Cases: []bench.Case{
+		fakeCase{key: "f", metric: bench.MetricFlops, cfg: bench.DGEMMConfig{}},
+		fakeCase{key: "b", metric: bench.MetricBandwidth, cfg: bench.TriadConfig{}},
+	}}
+	nilCfg := sweep.Spec{Name: "nilcfg", Clock: vclock.NewVirtual(), Cases: []bench.Case{
+		fakeCase{key: "n", metric: bench.MetricFlops, cfg: nil},
+	}}
+
+	tests := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"silent no-op", Plan{}, "no sweeps and no warnings"},
+		{"duplicate keys", planOf(dupe, Point{Compute: true, Sockets: 1}), "share key"},
+		{"missing clock", planOf(noClock, Point{Compute: true, Sockets: 1}), "no clock"},
+		{"empty case list", planOf(empty, Point{Compute: true, Sockets: 1}), "no cases"},
+		{"mixed metrics", planOf(mixed, Point{Compute: true, Sockets: 1}), "mixes metrics"},
+		{"nil config", planOf(nilCfg, Point{Compute: true, Sockets: 1}), "nil Config"},
+		{"unlabelled memory point", planOf(goodSweep(bench.MetricBandwidth, "m"), Point{Sockets: 1}), "no Region"},
+		{"compute point with region", planOf(goodSweep(bench.MetricFlops, "m"), Point{Compute: true, Sockets: 1, Region: "L3"}), "with Region"},
+		{"metric/side mismatch", planOf(goodSweep(bench.MetricBandwidth, "m"), Point{Compute: true, Sockets: 1}), "lands on the compute side"},
+		{"zero sockets", planOf(goodSweep(bench.MetricFlops, "m"), Point{Compute: true}), "socket count 0"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := Conform(fakeWorkload{name: tc.name, plan: tc.plan}, Target{}, Params{})
+			if len(errs) == 0 {
+				t.Fatalf("violation not caught")
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentions %q: %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestConformReportsPlanError(t *testing.T) {
+	w := fakeWorkload{name: "broken", err: errTest}
+	errs := Conform(w, Target{}, Params{})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "Plan failed") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+var errTest = errors.New("synthetic failure")
+
+func planOf(s sweep.Spec, pt Point) Plan {
+	var p Plan
+	p.Add(s, pt)
+	return p
+}

@@ -50,6 +50,13 @@ type Params struct {
 	AssumedLLC units.ByteSize
 	// Threads is the native engines' parallelism.
 	Threads int
+	// SpMVN and SpMVNNZPerRow shape the SpMV workload's synthetic matrix:
+	// an SpMVN x SpMVN CSR matrix with SpMVNNZPerRow stored elements per
+	// row (density SpMVNNZPerRow/SpMVN), which fixes where the kernel
+	// lands on the intensity axis.
+	SpMVN, SpMVNNZPerRow int
+	// StencilNX and StencilNY are the stencil workload's grid dimensions.
+	StencilNX, StencilNY int
 }
 
 // Point says how one sweep's winning outcome lands in the session Result:
@@ -60,11 +67,21 @@ type Point struct {
 	// Compute selects the result side: true for a ComputePoint, false for
 	// a MemoryPoint.
 	Compute bool
+	// Label names the benchmark family on compute points ("DGEMM",
+	// "SpMV", "stencil"); empty defaults to "DGEMM", the original
+	// compute workload.
+	Label string
 	// Sockets is the socket count the sweep tuned (1 for native builds).
 	Sockets int
 	// Region names the memory residency region ("DRAM", "L3", "cache",
 	// ...); empty for compute points.
 	Region string
+	// Intensity is the kernel's operational intensity. A compute point
+	// with nonzero Intensity is an application point — a measured kernel
+	// plotted at its position on the roofline's intensity axis (SpMV,
+	// stencil) — rather than a horizontal compute ceiling (DGEMM, whose
+	// Intensity stays zero).
+	Intensity units.Intensity
 	// TheoreticalFlops is Eq. 9's peak for compute sweeps on simulated
 	// systems (zero for native builds, where no spec is assumed).
 	TheoreticalFlops units.Flops
@@ -97,6 +114,23 @@ func (p *Plan) Add(s sweep.Spec, pt Point) {
 // Warnf records one formatted warning.
 func (p *Plan) Warnf(format string, args ...any) {
 	p.Warnings = append(p.Warnings, fmt.Sprintf(format, args...))
+}
+
+// NativeThreadGrid returns the native thread-count search axis shared by
+// the thread-tuning workloads (SpMV, stencil): powers of two up to the
+// engine's parallelism, always including the engine's own count — the
+// paper tunes core allocation, and worker threads are the native
+// analogue. Keeping the policy here keeps every workload's native
+// sweep on the same axis.
+func NativeThreadGrid(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for t := 1; t < max; t *= 2 {
+		out = append(out, t)
+	}
+	return append(out, max)
 }
 
 // Workload produces the autotuning sweeps of one benchmark family.

@@ -1,0 +1,97 @@
+// Package spmv is the CSR sparse matrix-vector workload: it plans the
+// autotuning sweeps whose winners become roofline application points at
+// SpMV's operational intensity — the memory-bound region between TRIAD
+// and DGEMM that the paper's §VII names as the next benchmarking target.
+// The tuning axes are the row-chunk size (both engines) and the worker
+// thread count (native); the matrix itself is a density-parameterised
+// synthetic CSR so runs are reproducible on any host. It registers
+// itself as "spmv".
+package spmv
+
+import (
+	"fmt"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/hw"
+	"rooftune/internal/simspmv"
+	kern "rooftune/internal/spmv"
+	"rooftune/internal/sweep"
+	"rooftune/internal/workload"
+)
+
+func init() { workload.MustRegister(Workload{}) }
+
+// Workload implements workload.Workload for SpMV.
+type Workload struct{}
+
+// Name implements workload.Workload.
+func (Workload) Name() string { return "spmv" }
+
+// Chunks returns the row-chunk search space for an n-row matrix: powers
+// of two from 32 to 8192, clamped to the row count. Exported so tests
+// and the conformance harness can reason about the planned space.
+func Chunks(n int) []int {
+	var out []int
+	for c := 32; c <= 8192; c *= 2 {
+		if c <= n {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Plan builds one compute sweep per socket configuration (simulated) or a
+// single host sweep over chunk x threads (native). Every simulated sweep
+// gets its own engine, like DGEMM and TRIAD, so sweeps stay schedulable
+// in any order.
+func (Workload) Plan(t workload.Target, p workload.Params) (workload.Plan, error) {
+	var plan workload.Plan
+	if p.SpMVN <= 0 || p.SpMVNNZPerRow <= 0 {
+		return plan, fmt.Errorf("spmv: non-positive matrix shape n=%d nnz/row=%d", p.SpMVN, p.SpMVNNZPerRow)
+	}
+	if p.SpMVNNZPerRow > p.SpMVN {
+		return plan, fmt.Errorf("spmv: nnz/row %d exceeds dimension %d", p.SpMVNNZPerRow, p.SpMVN)
+	}
+	if t.IsNative() {
+		return planNative(t.Native, p), nil
+	}
+	return planSimulated(*t.Sys, p), nil
+}
+
+func planSimulated(sys hw.System, p workload.Params) workload.Plan {
+	var plan workload.Plan
+	intensity := simspmv.Intensity(p.SpMVN, p.SpMVNNZPerRow)
+	for _, sockets := range sys.SocketConfigs() {
+		eng := bench.NewSimEngine(sys, p.Seed)
+		var cases []bench.Case
+		for _, chunk := range Chunks(p.SpMVN) {
+			cases = append(cases, eng.SpMVCase(p.SpMVN, p.SpMVNNZPerRow, chunk, sockets))
+		}
+		plan.Add(
+			sweep.Spec{Name: fmt.Sprintf("SpMV (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
+			workload.Point{Compute: true, Label: "SpMV", Sockets: sockets, Intensity: intensity},
+		)
+	}
+	return plan
+}
+
+func planNative(eng *bench.NativeEngine, p workload.Params) workload.Plan {
+	var plan workload.Plan
+	// One matrix shared by every case: synthesis costs more than the
+	// product itself and the matrix is read-only under the kernel.
+	a := kern.Synthetic(p.SpMVN, p.SpMVNNZPerRow, p.Seed)
+	var cases []bench.Case
+	for _, threads := range workload.NativeThreadGrid(eng.Threads) {
+		for _, chunk := range Chunks(p.SpMVN) {
+			cases = append(cases, eng.SpMVCase(a, chunk, threads))
+		}
+	}
+	plan.Add(
+		sweep.Spec{Name: "native SpMV", Clock: eng.Clock, Cases: cases},
+		workload.Point{Compute: true, Label: "SpMV", Sockets: 1, Intensity: a.Intensity()},
+	)
+	return plan
+}

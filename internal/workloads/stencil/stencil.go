@@ -1,0 +1,102 @@
+// Package stencil is the 2D 5-point Jacobi workload: it plans the
+// autotuning sweeps whose winners become roofline application points at
+// the stencil's 0.25 FLOP/B operational intensity — with SpMV, the
+// second of the two §VII memory-bound gaps between TRIAD and DGEMM. The
+// tuning axes are the tile dimensions (both engines) and the worker
+// thread count (native). It registers itself as "stencil".
+package stencil
+
+import (
+	"fmt"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/hw"
+	"rooftune/internal/simstencil"
+	"rooftune/internal/sweep"
+	"rooftune/internal/workload"
+)
+
+func init() { workload.MustRegister(Workload{}) }
+
+// Workload implements workload.Workload for the stencil.
+type Workload struct{}
+
+// Name implements workload.Workload.
+func (Workload) Name() string { return "stencil" }
+
+// Tiles returns the tile-shape search space for an nx x ny grid: widths
+// from 128 to 2048 columns crossed with heights of 8, 32 and 128 rows,
+// clamped to the interior. Exported so tests and the conformance harness
+// can reason about the planned space.
+func Tiles(nx, ny int) [][2]int {
+	xs := axis([]int{128, 256, 512, 1024, 2048}, nx-2)
+	ys := axis([]int{8, 32, 128}, ny-2)
+	out := make([][2]int, 0, len(xs)*len(ys))
+	for _, tx := range xs {
+		for _, ty := range ys {
+			out = append(out, [2]int{tx, ty})
+		}
+	}
+	return out
+}
+
+// axis clamps a tile axis to the grid interior, falling back to the full
+// span when every candidate exceeds it.
+func axis(candidates []int, span int) []int {
+	var out []int
+	for _, v := range candidates {
+		if v <= span {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, span)
+	}
+	return out
+}
+
+// Plan builds one compute sweep per socket configuration (simulated) or a
+// single host sweep over tile x threads (native).
+func (Workload) Plan(t workload.Target, p workload.Params) (workload.Plan, error) {
+	var plan workload.Plan
+	if p.StencilNX < 3 || p.StencilNY < 3 {
+		return plan, fmt.Errorf("stencil: grid %dx%d too small for a 5-point stencil", p.StencilNX, p.StencilNY)
+	}
+	if t.IsNative() {
+		return planNative(t.Native, p), nil
+	}
+	return planSimulated(*t.Sys, p), nil
+}
+
+func planSimulated(sys hw.System, p workload.Params) workload.Plan {
+	var plan workload.Plan
+	intensity := simstencil.Intensity(p.StencilNX, p.StencilNY)
+	for _, sockets := range sys.SocketConfigs() {
+		eng := bench.NewSimEngine(sys, p.Seed)
+		var cases []bench.Case
+		for _, tile := range Tiles(p.StencilNX, p.StencilNY) {
+			cases = append(cases, eng.StencilCase(p.StencilNX, p.StencilNY, tile[0], tile[1], sockets))
+		}
+		plan.Add(
+			sweep.Spec{Name: fmt.Sprintf("stencil (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
+			workload.Point{Compute: true, Label: "stencil", Sockets: sockets, Intensity: intensity},
+		)
+	}
+	return plan
+}
+
+func planNative(eng *bench.NativeEngine, p workload.Params) workload.Plan {
+	var plan workload.Plan
+	var cases []bench.Case
+	for _, threads := range workload.NativeThreadGrid(eng.Threads) {
+		for _, tile := range Tiles(p.StencilNX, p.StencilNY) {
+			cases = append(cases, eng.StencilCase(p.StencilNX, p.StencilNY, tile[0], tile[1], threads))
+		}
+	}
+	plan.Add(
+		sweep.Spec{Name: "native stencil", Clock: eng.Clock, Cases: cases},
+		workload.Point{Compute: true, Label: "stencil", Sockets: 1,
+			Intensity: simstencil.Intensity(p.StencilNX, p.StencilNY)},
+	)
+	return plan
+}

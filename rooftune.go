@@ -24,12 +24,16 @@
 //
 // The benchmarks themselves are pluggable Workloads. A Workload turns
 // the session's target and parameters into autotuning sweeps plus the
-// Point metadata saying how each winner lands in the Result; DGEMM and
-// TRIAD are simply the two built-in registrations, and new benchmark
-// families (SpMV, stencils, per-cache-level TRIAD regions) are additive
+// Point metadata saying how each winner lands in the Result. Four are
+// built in: "dgemm" (compute ceilings), "triad" (bandwidth ceilings),
+// and the §VII extensions "spmv" and "stencil", whose tuned winners land
+// as application points at their own operational intensities in the
+// memory-bound region between TRIAD and DGEMM. New benchmark families
+// (per-cache-level TRIAD regions, further kernels) are additive
 // packages — RegisterWorkload plus WithWorkloads, no edits here. See the
 // Workload type and examples/custom-workload for a complete minimal
-// implementation.
+// implementation, with internal/workloads/spmv as the full-scale
+// reference.
 //
 // The returned Result contains the tuned peak compute and bandwidth
 // values, the winning configurations, and a renderable roofline model.
@@ -40,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"rooftune/internal/bench"
 	"rooftune/internal/core"
 	"rooftune/internal/roofline"
 	"rooftune/internal/units"
@@ -60,13 +65,31 @@ func NativeQuickSpace() []core.Dims {
 	return out
 }
 
-// ComputePoint is a tuned compute ceiling.
+// ComputePoint is a tuned FLOP/s-metered winner. DGEMM's points are
+// compute ceilings; SpMV's and the stencil's carry their operational
+// intensity and land on the roofline as application points in the
+// memory-bound region between TRIAD and DGEMM.
 type ComputePoint struct {
+	// Label names the benchmark family: "DGEMM", "SpMV", "stencil" (or a
+	// registered custom workload's Point.Label).
+	Label   string
 	Sockets int
-	Dims    core.Dims
-	Flops   units.Flops
+	// Dims is the winning matrix shape for DGEMM points (zero value for
+	// other families, whose identity is Config).
+	Dims core.Dims
+	// Config is the winner's full typed identity (bench.DGEMMConfig,
+	// bench.SpMVConfig, bench.StencilConfig).
+	Config bench.Config
+	// Desc is the winner's human-readable parameter description, e.g.
+	// "n=262144 nnz/row=16 chunk=512 sockets=1".
+	Desc  string
+	Flops units.Flops
+	// Intensity is the kernel's operational intensity; nonzero marks the
+	// point as a roofline application point rather than a compute
+	// ceiling.
+	Intensity units.Intensity
 	// Theoretical is Eq. 9's peak for the configuration (zero for native
-	// builds, where no spec is assumed).
+	// builds, where no spec is assumed, and for application points).
 	Theoretical units.Flops
 }
 
@@ -103,14 +126,30 @@ type Result struct {
 func assembleRoofline(res *Result) *roofline.Model {
 	m := &roofline.Model{Title: fmt.Sprintf("Roofline: %s (%s)", res.SystemName, res.Engine)}
 	for _, c := range res.Compute {
-		name := fmt.Sprintf("DGEMM peak, %d socket(s)", c.Sockets)
-		m.AddCompute(name, c.Flops)
+		label := c.Label
+		if label == "" {
+			label = "DGEMM"
+		}
+		if c.Intensity > 0 {
+			// An intensity-carrying winner is a measured kernel at its own
+			// position on the intensity axis (SpMV, stencil), not a
+			// horizontal roof: adding it as a ceiling would clamp the whole
+			// model to a memory-bound kernel's throughput.
+			m.AddPoint(fmt.Sprintf("%s, %d socket(s)", label, c.Sockets), c.Intensity, c.Flops)
+			continue
+		}
+		m.AddCompute(fmt.Sprintf("%s peak, %d socket(s)", label, c.Sockets), c.Flops)
 	}
 	for _, b := range res.Memory {
 		name := fmt.Sprintf("%s, %d socket(s)", b.Region, b.Sockets)
 		m.AddMemory(name, b.Bandwidth)
 	}
-	m.AddPoint("TRIAD", units.TriadIntensity, unitsAttainableTriad(res))
+	// The TRIAD application point needs a measured DRAM bandwidth; a
+	// session that ran no memory sweeps must not pin a zero-FLOP/s point
+	// to the graph (it would stretch the log Y-axis to nothing).
+	if triad := unitsAttainableTriad(res); triad > 0 {
+		m.AddPoint("TRIAD", units.TriadIntensity, triad)
+	}
 	return m
 }
 
@@ -129,7 +168,19 @@ func (r *Result) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s (engine %s), search time %.2fs\n", r.SystemName, r.Engine, r.SearchTime.Seconds())
 	for _, c := range r.Compute {
-		fmt.Fprintf(&sb, "  compute %d socket(s): %v at n,m,k=%v", c.Sockets, c.Flops, c.Dims)
+		label := c.Label
+		if label == "" {
+			label = "compute"
+		}
+		at := c.Desc
+		if c.Dims != (core.Dims{}) {
+			// DGEMM winners keep the paper's Table V notation.
+			at = fmt.Sprintf("n,m,k=%v", c.Dims)
+		}
+		fmt.Fprintf(&sb, "  %-7s %d socket(s): %v at %s", label, c.Sockets, c.Flops, at)
+		if c.Intensity > 0 {
+			fmt.Fprintf(&sb, " (I=%v)", c.Intensity)
+		}
 		if c.Theoretical > 0 {
 			fmt.Fprintf(&sb, " (%s of theoretical %v)", units.Percent(float64(c.Flops), float64(c.Theoretical)), c.Theoretical)
 		}

@@ -60,7 +60,7 @@ func TestSimulatedGold6148(t *testing.T) {
 		t.Fatal("search time must be positive (virtual)")
 	}
 	summary := res.Summary()
-	for _, frag := range []string{"Gold 6148", "compute 1 socket", "DRAM"} {
+	for _, frag := range []string{"Gold 6148", "DGEMM   1 socket", "DRAM"} {
 		if !strings.Contains(summary, frag) {
 			t.Fatalf("summary missing %q:\n%s", frag, summary)
 		}
@@ -139,7 +139,7 @@ func TestNativeQuick(t *testing.T) {
 		t.Fatal("native roofline must validate")
 	}
 	summary := res.Summary()
-	for _, frag := range []string{"host (engine native)", "compute 1 socket"} {
+	for _, frag := range []string{"host (engine native)", "DGEMM   1 socket"} {
 		if !strings.Contains(summary, frag) {
 			t.Fatalf("native summary missing %q:\n%s", frag, summary)
 		}

@@ -31,6 +31,10 @@ type settings struct {
 	llc        units.ByteSize
 	triadLo    units.ByteSize
 	triadHi    units.ByteSize
+	spmvN      int
+	spmvNNZ    int
+	stencilNX  int
+	stencilNY  int
 	serial     bool
 	caseShards int
 	progress   func(Event)
@@ -146,6 +150,33 @@ func WithAssumedLLC(size units.ByteSize) Option {
 func WithTriadRange(lo, hi units.ByteSize) Option {
 	return func(s *settings) error {
 		s.triadLo, s.triadHi = lo, hi
+		return nil
+	}
+}
+
+// WithSpMVShape sets the SpMV workload's synthetic matrix: an n x n CSR
+// matrix with nnzPerRow stored elements per row (defaults: n = 262144
+// simulated / 65536 native, nnzPerRow = 16; a zero keeps its default).
+// The shape fixes the kernel's operational intensity, so changing it
+// moves the SpMV point along the roofline's intensity axis.
+func WithSpMVShape(n, nnzPerRow int) Option {
+	return func(s *settings) error {
+		if n < 0 || nnzPerRow < 0 {
+			return fmt.Errorf("rooftune: WithSpMVShape: negative shape n=%d nnz/row=%d", n, nnzPerRow)
+		}
+		s.spmvN, s.spmvNNZ = n, nnzPerRow
+		return nil
+	}
+}
+
+// WithStencilGrid sets the stencil workload's grid dimensions (defaults:
+// 2048x2048 simulated, 1024x1024 native; a zero keeps its default).
+func WithStencilGrid(nx, ny int) Option {
+	return func(s *settings) error {
+		if nx < 0 || ny < 0 {
+			return fmt.Errorf("rooftune: WithStencilGrid: negative grid %dx%d", nx, ny)
+		}
+		s.stencilNX, s.stencilNY = nx, ny
 		return nil
 	}
 }
@@ -276,6 +307,34 @@ func New(opts ...Option) (*Session, error) {
 	if s.triadLo > s.triadHi {
 		return nil, fmt.Errorf("rooftune: inverted TRIAD working-set bounds (lo %v > hi %v)", s.triadLo, s.triadHi)
 	}
+	if s.spmvN == 0 {
+		if s.native {
+			s.spmvN = 1 << 16
+		} else {
+			s.spmvN = 1 << 18
+		}
+	}
+	if s.spmvNNZ == 0 {
+		s.spmvNNZ = 16
+	}
+	if s.spmvNNZ > s.spmvN {
+		return nil, fmt.Errorf("rooftune: SpMV nnz/row %d exceeds matrix dimension %d", s.spmvNNZ, s.spmvN)
+	}
+	if s.stencilNX == 0 {
+		s.stencilNX = 2048
+		if s.native {
+			s.stencilNX = 1024
+		}
+	}
+	if s.stencilNY == 0 {
+		s.stencilNY = 2048
+		if s.native {
+			s.stencilNY = 1024
+		}
+	}
+	if s.stencilNX < 3 || s.stencilNY < 3 {
+		return nil, fmt.Errorf("rooftune: stencil grid %dx%d too small for a 5-point stencil", s.stencilNX, s.stencilNY)
+	}
 	if s.native && s.caseShards > 1 {
 		return nil, fmt.Errorf("rooftune: WithCaseShards(%d) requires a simulated target: concurrent wall-clock measurement would contend on the host", s.caseShards)
 	}
@@ -309,12 +368,16 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 
 	target, res := s.target()
 	params := workload.Params{
-		Seed:       s.cfg.seed,
-		Space:      s.cfg.space,
-		TriadLo:    s.cfg.triadLo,
-		TriadHi:    s.cfg.triadHi,
-		AssumedLLC: s.cfg.llc,
-		Threads:    s.cfg.threads,
+		Seed:          s.cfg.seed,
+		Space:         s.cfg.space,
+		TriadLo:       s.cfg.triadLo,
+		TriadHi:       s.cfg.triadHi,
+		AssumedLLC:    s.cfg.llc,
+		Threads:       s.cfg.threads,
+		SpMVN:         s.cfg.spmvN,
+		SpMVNNZPerRow: s.cfg.spmvNNZ,
+		StencilNX:     s.cfg.stencilNX,
+		StencilNY:     s.cfg.stencilNY,
 	}
 
 	var (
@@ -403,7 +466,10 @@ func (s *Session) target() (workload.Target, *Result) {
 // assembleResult turns the sweeps' typed winners into Result points.
 // Winning configurations come from bench.Config carried on the outcome —
 // no key string is ever parsed, so a key-format change can no longer
-// silently zero the reported dimensions.
+// silently zero the reported dimensions. Compute-side winners dispatch on
+// the configuration variant; an unknown variant is an assembly error
+// (the config round-trip test enumerates the bench.Config sum and fails
+// before a user can hit this).
 func assembleResult(res *Result, outs []sweep.Outcome, points []Point) (*Result, error) {
 	for i, out := range outs {
 		pt := points[i]
@@ -417,16 +483,29 @@ func assembleResult(res *Result, outs []sweep.Outcome, points []Point) (*Result,
 				"sweep %s: every configuration was outer-pruned; reporting the best truncated partial mean, not a measured winner", out.Name))
 		}
 		if pt.Compute {
-			cfg, err := out.DGEMM()
-			if err != nil {
-				return nil, fmt.Errorf("rooftune: %w", err)
-			}
-			res.Compute = append(res.Compute, ComputePoint{
+			cp := ComputePoint{
+				Label:       pt.Label,
 				Sockets:     pt.Sockets,
-				Dims:        core.ConfigDims(cfg),
+				Config:      out.Best,
 				Flops:       units.Flops(out.BestValue()),
+				Intensity:   pt.Intensity,
 				Theoretical: pt.TheoreticalFlops,
-			})
+			}
+			if cp.Label == "" {
+				cp.Label = "DGEMM"
+			}
+			if out.Result.Best != nil {
+				cp.Desc = out.Result.Best.Describe
+			}
+			switch cfg := out.Best.(type) {
+			case bench.DGEMMConfig:
+				cp.Dims = core.ConfigDims(cfg)
+			case bench.SpMVConfig, bench.StencilConfig:
+				// Identity carried generically by Config and Desc.
+			default:
+				return nil, fmt.Errorf("rooftune: sweep %s: compute winner has unsupported config %T", out.Name, out.Best)
+			}
+			res.Compute = append(res.Compute, cp)
 		} else {
 			cfg, err := out.Triad()
 			if err != nil {

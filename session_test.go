@@ -38,7 +38,11 @@ func TestNewValidation(t *testing.T) {
 		{"triad lo above default hi", []Option{
 			WithSystem("Gold 6148"), WithTriadRange(900*units.MiB, 0),
 		}, "inverted TRIAD"},
-		{"unknown workload", []Option{WithSystem("Gold 6148"), WithWorkloads("spmv")}, `"spmv"`},
+		{"unknown workload", []Option{WithSystem("Gold 6148"), WithWorkloads("warp-kernel")}, `"warp-kernel"`},
+		{"spmv nnz above dimension", []Option{WithSystem("Gold 6148"), WithSpMVShape(64, 128)}, "exceeds matrix dimension"},
+		{"negative spmv shape", []Option{WithSystem("Gold 6148"), WithSpMVShape(-1, 16)}, "negative shape"},
+		{"degenerate stencil grid", []Option{WithSystem("Gold 6148"), WithStencilGrid(2, 512)}, "too small"},
+		{"negative stencil grid", []Option{WithSystem("Gold 6148"), WithStencilGrid(-4, 512)}, "negative grid"},
 		{"empty workloads", []Option{WithSystem("Gold 6148"), WithWorkloads()}, "no workloads"},
 		{"negative case shards", []Option{WithSystem("Gold 6148"), WithCaseShards(-1)}, "negative shard count"},
 		{"native case shards", []Option{WithNative(), WithCaseShards(2)}, "simulated target"},
@@ -65,6 +69,77 @@ func tinySessionOptions() []Option {
 			{N: 2048, M: 2048, K: 128},
 		}),
 		WithTriadRange(16*units.KiB, 256*units.MiB),
+	}
+}
+
+// TestSpMVStencilSession runs the two §VII workloads end to end on a
+// simulated system and pins the acceptance contract: each lands a
+// FLOP/s-metered winner whose operational intensity is strictly between
+// TRIAD's and DGEMM's, carried onto the roofline as an application point
+// rather than a compute ceiling.
+func TestSpMVStencilSession(t *testing.T) {
+	sess, err := New(
+		WithSystem("Gold 6148"),
+		WithWorkloads("spmv", "stencil"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := hw.Get("Gold 6148")
+	if want := 2 * len(sys.SocketConfigs()); len(res.Compute) != want || len(res.Memory) != 0 {
+		t.Fatalf("points: %d compute, %d memory, want %d compute only",
+			len(res.Compute), len(res.Memory), want)
+	}
+	labels := map[string]int{}
+	minDGEMM := units.DGEMMIntensity(500, 500, 64) // smallest intensity in any built-in DGEMM space
+	for _, c := range res.Compute {
+		labels[c.Label]++
+		if c.Flops <= 0 {
+			t.Fatalf("%s point has no throughput: %+v", c.Label, c)
+		}
+		if c.Intensity <= units.TriadIntensity || c.Intensity >= minDGEMM {
+			t.Fatalf("%s intensity %v not strictly between TRIAD's %v and DGEMM's %v",
+				c.Label, c.Intensity, units.TriadIntensity, minDGEMM)
+		}
+		if c.Dims != (core.Dims{}) {
+			t.Fatalf("%s point carries DGEMM dims: %+v", c.Label, c)
+		}
+		if c.Desc == "" || c.Config == nil {
+			t.Fatalf("%s point missing winner identity: %+v", c.Label, c)
+		}
+		switch c.Label {
+		case "SpMV":
+			cfg, ok := c.Config.(bench.SpMVConfig)
+			if !ok || cfg.ChunkRows <= 0 {
+				t.Fatalf("SpMV config = %#v", c.Config)
+			}
+		case "stencil":
+			cfg, ok := c.Config.(bench.StencilConfig)
+			if !ok || cfg.TileX <= 0 || cfg.TileY <= 0 {
+				t.Fatalf("stencil config = %#v", c.Config)
+			}
+		default:
+			t.Fatalf("unexpected label %q", c.Label)
+		}
+	}
+	if labels["SpMV"] != len(sys.SocketConfigs()) || labels["stencil"] != len(sys.SocketConfigs()) {
+		t.Fatalf("labels = %v", labels)
+	}
+	// The winners are application points, never ceilings; with no memory
+	// sweeps there is no TRIAD point either (it would be zero-valued).
+	if len(res.Roofline.Compute) != 0 || len(res.Roofline.Points) != len(res.Compute) {
+		t.Fatalf("roofline: %d ceilings, %d points", len(res.Roofline.Compute), len(res.Roofline.Points))
+	}
+	again, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("equal seeds must reproduce identical Results")
 	}
 }
 

@@ -3,9 +3,12 @@ package rooftune
 import (
 	"rooftune/internal/workload"
 
-	// The built-in workloads register themselves ("dgemm", "triad") so
-	// every Session can name them without further imports.
+	// The built-in workloads register themselves ("dgemm", "triad",
+	// "spmv", "stencil") so every Session can name them without further
+	// imports.
 	_ "rooftune/internal/workloads/dgemm"
+	_ "rooftune/internal/workloads/spmv"
+	_ "rooftune/internal/workloads/stencil"
 	_ "rooftune/internal/workloads/triad"
 )
 
