@@ -5,8 +5,16 @@
 // machine-readable stream and a diffable text summary — the seed of the
 // repository's performance trajectory.
 //
+// With -baseline it additionally diffs the run against a second stream
+// (the committed BENCH_main.json baseline): each benchmark present in
+// both is compared on ns/op, the delta table goes to stdout, and any
+// regression beyond -threshold is emitted as a GitHub Actions ::warning::
+// annotation. One-iteration CI runs on shared runners are noisy, so the
+// diff annotates rather than fails; the threshold defaults generously.
+//
 //	go test -json -bench . -benchtime 1x -run '^$' ./... > BENCH_pr.json
 //	go run ./cmd/benchreport -in BENCH_pr.json -out BENCH_pr.txt
+//	go run ./cmd/benchreport -in BENCH_pr.json -baseline BENCH_main.json -threshold 0.25
 package main
 
 import (
@@ -16,6 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -29,6 +40,8 @@ type event struct {
 func main() {
 	in := flag.String("in", "", "test2json input file (default stdin)")
 	out := flag.String("out", "", "benchstat-format output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline test2json stream to diff ns/op against")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression beyond which a ::warning:: annotation is emitted")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -40,6 +53,11 @@ func main() {
 		defer f.Close()
 		r = f
 	}
+	lines, err := resultLines(r)
+	if err != nil {
+		fail(err)
+	}
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -49,8 +67,23 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := report(r, w); err != nil {
+	if err := report(lines, w); err != nil {
 		fail(err)
+	}
+
+	if *baseline != "" {
+		bf, err := os.Open(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		defer bf.Close()
+		baseLines, err := resultLines(bf)
+		if err != nil {
+			fail(fmt.Errorf("baseline: %w", err))
+		}
+		if err := diff(parseNsPerOp(baseLines), parseNsPerOp(lines), *threshold, os.Stdout); err != nil {
+			fail(err)
+		}
 	}
 }
 
@@ -59,12 +92,12 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-// report reassembles each package's output stream (test2json splits a
-// single benchmark result line across several events, and packages
+// resultLines reassembles each package's output stream (test2json splits
+// a single benchmark result line across several events, and packages
 // interleave), then keeps the preamble lines benchstat keys results on
-// and the result lines themselves. Corrupt JSON fails loudly rather
-// than producing a silently truncated report.
-func report(r io.Reader, w io.Writer) error {
+// and the result lines themselves, in package order. Corrupt JSON fails
+// loudly rather than producing a silently truncated report.
+func resultLines(r io.Reader) ([]string, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var order []string
@@ -76,7 +109,7 @@ func report(r io.Reader, w io.Writer) error {
 		}
 		var ev event
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			return fmt.Errorf("malformed test2json line %q: %v", line, err)
+			return nil, fmt.Errorf("malformed test2json line %q: %v", line, err)
 		}
 		if ev.Action != "output" {
 			continue
@@ -90,18 +123,27 @@ func report(r io.Reader, w io.Writer) error {
 		buf.WriteString(ev.Output)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	benches := 0
+	var out []string
 	for _, pkg := range order {
 		for _, txt := range strings.Split(bufs[pkg].String(), "\n") {
 			if keep(txt) {
-				if strings.HasPrefix(txt, "Benchmark") {
-					benches++
-				}
-				fmt.Fprintln(w, txt)
+				out = append(out, txt)
 			}
 		}
+	}
+	return out, nil
+}
+
+// report writes the benchstat-format lines.
+func report(lines []string, w io.Writer) error {
+	benches := 0
+	for _, txt := range lines {
+		if strings.HasPrefix(txt, "Benchmark") {
+			benches++
+		}
+		fmt.Fprintln(w, txt)
 	}
 	if benches == 0 {
 		return fmt.Errorf("no benchmark results in input — did the bench run execute?")
@@ -119,4 +161,97 @@ func keep(line string) bool {
 	// Result lines ("BenchmarkMulChunked-8 ...") have at least a name and
 	// an iteration count; the bare "BenchmarkX" progress echo does not.
 	return strings.HasPrefix(line, "Benchmark") && len(strings.Fields(line)) >= 2
+}
+
+// cpuSuffix strips the trailing -GOMAXPROCS from a benchmark name so that
+// runs from hosts with different core counts still key together.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseNsPerOp extracts "pkg.Benchmark" -> ns/op from benchstat-format
+// result lines, keying on the preceding pkg: preamble so equally named
+// benchmarks in different packages never collide. A benchmark that
+// appears several times keeps its last value.
+func parseNsPerOp(lines []string) map[string]float64 {
+	out := map[string]float64{}
+	pkg := ""
+	for _, line := range lines {
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			name := cpuSuffix.ReplaceAllString(fields[0], "")
+			if pkg != "" {
+				name = pkg + "." + name
+			}
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// diff prints the baseline comparison and emits GitHub annotations for
+// regressions beyond the threshold. Benchmarks present on only one side
+// are listed, not treated as regressions.
+func diff(base, cur map[string]float64, threshold float64, w io.Writer) error {
+	if len(base) == 0 {
+		return fmt.Errorf("baseline contains no benchmark results")
+	}
+	var names []string
+	for name := range cur {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\nbaseline comparison (threshold %+.0f%%):\n", threshold*100)
+	fmt.Fprintf(w, "%-48s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		delta := (c - b) / b
+		mark := ""
+		if delta > threshold {
+			mark = "  <-- regression"
+			regressions++
+			// GitHub Actions annotation: visible on the job summary
+			// without failing the (noisy, 1-iteration) bench job.
+			fmt.Fprintf(w, "::warning title=bench regression::%s slowed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)\n",
+				name, delta*100, b, c, threshold*100)
+		}
+		fmt.Fprintf(w, "%-48s %14.0f %14.0f %+7.1f%%%s\n", name, b, c, delta*100, mark)
+	}
+	var added, removed []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-48s %14s %14.0f      new\n", name, "-", cur[name])
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-48s %14.0f %14s  removed\n", name, base[name], "-")
+	}
+	fmt.Fprintf(w, "%d benchmark(s) compared, %d regression(s) beyond %.0f%%\n",
+		len(names), regressions, threshold*100)
+	return nil
 }

@@ -10,6 +10,7 @@
 //	rooftool -system 2650v4 -format svg -out roofline.svg
 //	rooftool -workloads dgemm                 # compute roof only
 //	rooftool -workloads spmv,stencil          # §VII kernels between TRIAD and DGEMM
+//	rooftool -triad-levels L1,L2,L3,DRAM -chain  # cache-aware roofline, chained sweeps
 //	rooftool -list                            # list known systems
 package main
 
@@ -33,7 +34,9 @@ func main() {
 		format  = flag.String("format", "text", "output format: text, ascii, svg, gnuplot, summary, json")
 		out     = flag.String("out", "", "output file (default stdout)")
 		threads = flag.Int("threads", 0, "native parallelism (default GOMAXPROCS)")
-		shards  = flag.Int("case-shards", 0, "workers evaluating cases concurrently within each sweep (simulated targets only; 0 = serial)")
+		shards  = flag.Int("case-shards", 0, "workers evaluating cases concurrently within each sweep (simulated targets only; 0 = adaptive from spare host parallelism, 1 = serial)")
+		levels  = flag.String("triad-levels", "", "comma-separated TRIAD residency regions to sweep (simulated targets only; e.g. L1,L2,L3,DRAM; default L3,DRAM)")
+		chain   = flag.Bool("chain", false, "chain same-metric sweeps: pre-seed each sweep's incumbent with its dependency's winner")
 		// The usage text asks the registry rather than hand-maintaining a
 		// list: a newly registered workload shows up here on its own.
 		workloads = flag.String("workloads", "", fmt.Sprintf(
@@ -50,7 +53,19 @@ func main() {
 		return
 	}
 
-	opts := []rooftune.Option{rooftune.WithSeed(*seed), rooftune.WithThreads(*threads), rooftune.WithCaseShards(*shards)}
+	opts := []rooftune.Option{
+		rooftune.WithSeed(*seed), rooftune.WithThreads(*threads),
+		rooftune.WithCaseShards(*shards), rooftune.WithSweepChaining(*chain),
+	}
+	if *levels != "" {
+		var names []string
+		for _, name := range strings.Split(*levels, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		opts = append(opts, rooftune.WithTriadLevels(names...))
+	}
 	if *native {
 		opts = append(opts, rooftune.WithNative())
 	} else {
@@ -143,5 +158,7 @@ func printEvent(ev rooftune.Event) {
 			ev.Sweep, ev.Case, ev.Value, ev.Unit, ev.Elapsed.Seconds())
 	case rooftune.EventRegionEmpty:
 		fmt.Fprintf(os.Stderr, "[warn ] %s\n", ev.Warning)
+	case rooftune.EventSweepSeeded:
+		fmt.Fprintf(os.Stderr, "[seed ] %s: incumbent %.2f %s from %s\n", ev.Sweep, ev.Value, ev.Unit, ev.From)
 	}
 }

@@ -44,12 +44,16 @@ func main() {
 		os.Exit(1)
 	}
 	// Planning-only shapes: Plan builds cases but never executes kernels,
-	// so these sizes keep even the native matrix synthesis instant.
+	// so these sizes keep even the native matrix synthesis instant. All
+	// four TRIAD residency levels are requested so the per-level plan
+	// graph — IDs, SeedFrom chains — goes through the conformance
+	// contract too (native targets use the cache/DRAM split regardless).
 	params := workload.Params{
 		Seed:          1021,
 		Space:         []core.Dims{{N: 512, M: 512, K: 128}, {N: 1024, M: 1024, K: 128}},
 		TriadLo:       3 * units.KiB,
 		TriadHi:       768 * units.MiB,
+		TriadLevels:   hw.CacheLevels(),
 		AssumedLLC:    32 * units.MiB,
 		Threads:       2,
 		SpMVN:         1 << 14,

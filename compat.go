@@ -75,6 +75,14 @@ func (o *Options) options() []Option {
 	return opts
 }
 
+// shimOptions are the legacy entry points' fixed settings on top of the
+// struct conversion: the original implementation evaluated each sweep's
+// cases strictly serially, so the shims pin the adaptive case-shard
+// default off to stay bit-identical (search cost included) on any host.
+func shimOptions(opt *Options) []Option {
+	return append(opt.options(), WithCaseShards(1))
+}
+
 // withDefaults resolves the legacy defaults. It survives for
 // TestOptionsDefaults, which pins the struct API's documented defaults;
 // the Session applies the same values in New.
@@ -119,7 +127,7 @@ func (o *Options) withDefaults(native bool) Options {
 }
 
 func runShim(opt *Options, target Option) (*Result, error) {
-	sess, err := New(append(opt.options(), target)...)
+	sess, err := New(append(shimOptions(opt), target)...)
 	if err != nil {
 		return nil, err
 	}

@@ -34,7 +34,11 @@ func TestShimEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sess, err := New(tinySessionOptions()...)
+		// The shims pin strictly serial case evaluation (the original
+		// implementation's loop), so the equivalent Session does too —
+		// the adaptive default may shard on a large host, which changes
+		// search cost, never winners.
+		sess, err := New(append(tinySessionOptions(), WithCaseShards(1))...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +59,7 @@ func TestShimEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sess, err := New(WithSystem("Gold 6148"))
+		sess, err := New(WithSystem("Gold 6148"), WithCaseShards(1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,10 +108,15 @@ func TestSummaryGolden(t *testing.T) {
 			},
 		},
 		Memory: []MemoryPoint{
-			{Sockets: 1, Region: "DRAM", Elements: 1 << 24, Bandwidth: 60e9, Theoretical: 76.8e9},
+			// Per-level ceilings in decreasing-bandwidth order, the
+			// WithTriadLevels presentation shape.
+			{Sockets: 1, Region: "L1", Elements: 1 << 12, Bandwidth: 1500e9},
+			{Sockets: 1, Region: "L2", Elements: 1 << 16, Bandwidth: 860e9},
 			{Sockets: 1, Region: "L3", Elements: 1 << 18, Bandwidth: 300e9},
+			{Sockets: 1, Region: "DRAM", Elements: 1 << 24, Bandwidth: 60e9, Theoretical: 76.8e9},
 		},
-		Warnings: []string{"TRIAD L2 (1 sockets): no working-set sizes fall in the region"},
+		// Warnings arrive workload-attributed from the session layer.
+		Warnings: []string{"workload triad: TRIAD L2 (1 sockets): no working-set sizes fall in the region"},
 	}
 	got := res.Summary()
 	golden := filepath.Join("testdata", "summary.golden")

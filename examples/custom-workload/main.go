@@ -59,7 +59,14 @@ func (scaleWorkload) Plan(t rooftune.Target, p rooftune.Params) (rooftune.Plan, 
 		plan.Warnf("SCALE: no vector lengths inside %v..%v — its ceiling will be missing", p.TriadLo, p.TriadHi)
 		return plan, nil
 	}
+	// Every planned sweep carries a stable plan-graph ID (convention:
+	// "<workload>/<region-or-axis>/<target>"). A workload with several
+	// same-metric sweeps can chain them — plan.Chain(id, seedFrom, ...) —
+	// so sessions running WithSweepChaining pre-prune each sweep with the
+	// previous winner; this toy plans a single sweep, so a plain Add is
+	// all it needs.
 	plan.Add(
+		"scale/1s",
 		sweep.Spec{Name: "toy SCALE", Clock: clock, Cases: cases},
 		// Land the winner as a memory point in the "SCALE" region.
 		rooftune.Point{Sockets: 1, Region: "SCALE"},

@@ -193,6 +193,51 @@ func (s *System) L3Total(sockets int) units.ByteSize {
 	return s.L3PerSocket * units.ByteSize(s.clampSockets(sockets))
 }
 
+// L2Total returns the aggregate L2 capacity across the given sockets'
+// cores. L2 is private per core, so the aggregate scales with the engaged
+// core count — the capacity bound the per-level TRIAD residency sweeps
+// classify working sets against.
+func (s *System) L2Total(sockets int) units.ByteSize {
+	return s.L2PerCore * units.ByteSize(s.Cores(sockets))
+}
+
+// L1Total returns the aggregate L1 data-cache capacity across the given
+// sockets' cores.
+func (s *System) L1Total(sockets int) units.ByteSize {
+	return s.L1PerCore * units.ByteSize(s.Cores(sockets))
+}
+
+// CacheLevels returns the residency-region names of the memory hierarchy
+// in decreasing-bandwidth order: L1, L2, L3, DRAM. It is the vocabulary
+// of the per-level TRIAD sweeps (rooftune.WithTriadLevels) and of
+// MemoryPoint.Region on simulated systems.
+func CacheLevels() []string { return []string{"L1", "L2", "L3", "DRAM"} }
+
+// ValidateCacheLevels checks that levels is a non-empty, duplicate-free
+// subset of CacheLevels — the one validator behind both the session
+// option and the TRIAD workload, so they can never disagree on what a
+// level name is.
+func ValidateCacheLevels(levels []string) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("hw: no residency levels named")
+	}
+	seen := map[string]bool{}
+	for _, lv := range levels {
+		known := false
+		for _, k := range CacheLevels() {
+			known = known || k == lv
+		}
+		if !known {
+			return fmt.Errorf("hw: unknown residency level %q (known: %v)", lv, CacheLevels())
+		}
+		if seen[lv] {
+			return fmt.Errorf("hw: residency level %q named twice", lv)
+		}
+		seen[lv] = true
+	}
+	return nil
+}
+
 // String returns a one-line summary of the system.
 func (s *System) String() string {
 	return fmt.Sprintf("%s: %dx%d cores @ %.1f GHz %s x%d, %d ch DDR-%d, L3 %v/socket",

@@ -216,3 +216,21 @@ func TestSystemString(t *testing.T) {
 		}
 	}
 }
+
+func TestPerLevelCacheTotals(t *testing.T) {
+	s := IdunGold6148 // 20 cores/socket, 32 KiB L1, 1 MiB L2
+	if got, want := s.L1Total(1), 20*32*units.KiB; got != want {
+		t.Fatalf("L1Total(1) = %v, want %v", got, want)
+	}
+	if got, want := s.L2Total(2), 40*units.MiB; got != want {
+		t.Fatalf("L2Total(2) = %v, want %v", got, want)
+	}
+	// Clamping follows Cores: out-of-range socket counts behave.
+	if s.L1Total(0) != s.L1Total(1) || s.L2Total(99) != s.L2Total(2) {
+		t.Fatal("per-level totals must clamp socket counts")
+	}
+	levels := CacheLevels()
+	if len(levels) != 4 || levels[0] != "L1" || levels[3] != "DRAM" {
+		t.Fatalf("CacheLevels() = %v", levels)
+	}
+}

@@ -2,6 +2,7 @@ package roofline
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -224,5 +225,52 @@ func TestModelSummary(t *testing.T) {
 	// TRIAD at 1/12 FLOP/B is memory-bound against the best pair.
 	if strings.Contains(out, "TRIAD") && !strings.Contains(out, "memory-bound") {
 		t.Fatal("TRIAD must classify memory-bound")
+	}
+}
+
+// TestPerLevelCeilingsRender pins the cache-aware roofline rendering: a
+// model with one bandwidth ceiling per residency level draws every level
+// as its own slanted roof in the ASCII, gnuplot and SVG output, in
+// decreasing-bandwidth legend order.
+func TestPerLevelCeilingsRender(t *testing.T) {
+	m := &Model{Title: "per-level"}
+	m.AddMemory("DRAM, 1 socket(s)", units.GBps(74))
+	m.AddMemory("L1, 1 socket(s)", units.GBps(1540))
+	m.AddMemory("L3, 1 socket(s)", units.GBps(547))
+	m.AddMemory("L2, 1 socket(s)", units.GBps(878))
+	m.AddCompute("DGEMM peak, 1 socket(s)", units.GFLOPS(1422))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ascii := m.RenderASCII(76, 20)
+	order := []string{"L1, 1 socket(s)", "L2, 1 socket(s)", "L3, 1 socket(s)", "DRAM, 1 socket(s)"}
+	last := -1
+	for _, name := range order {
+		at := strings.Index(ascii, name)
+		if at < 0 {
+			t.Fatalf("ASCII legend missing %q:\n%s", name, ascii)
+		}
+		if at < last {
+			t.Fatalf("ASCII legend not in decreasing-bandwidth order:\n%s", ascii)
+		}
+		last = at
+	}
+
+	gnuplot := m.RenderGnuplot()
+	if got := strings.Count(gnuplot, "min("); got < len(order)+1 { // one per ceiling + the helper definition
+		t.Fatalf("gnuplot plots %d min() curves, want one per memory ceiling:\n%s", got-1, gnuplot)
+	}
+	for _, name := range order {
+		if !strings.Contains(gnuplot, fmt.Sprintf("%q", name)) {
+			t.Fatalf("gnuplot missing ceiling %q:\n%s", name, gnuplot)
+		}
+	}
+
+	svg := m.RenderSVG(800, 560)
+	for _, name := range order {
+		if !strings.Contains(svg, name) {
+			t.Fatalf("SVG missing ceiling %q", name)
+		}
 	}
 }

@@ -192,3 +192,89 @@ func TestZeroElementsBandwidth(t *testing.T) {
 		t.Fatal("zero elements must give zero bandwidth")
 	}
 }
+
+// measuredBandwidth runs one invocation's measured steps and returns the
+// mean effective bandwidth (work/time), the quantity the evaluator sees.
+func measuredBandwidth(m *Model, elems, steps int) float64 {
+	inv := m.NewInvocation(elems, hw.AffinityClose, 1, 0, 1021)
+	inv.WarmupTime()
+	var total, work float64
+	for i := 0; i < steps; i++ {
+		total += inv.StepTime().Seconds()
+		work += inv.Work()
+	}
+	return work / total
+}
+
+func TestMinMeasuredPassRecoversSubL3Plateaus(t *testing.T) {
+	// Without batching, a sub-microsecond pass is clamped and quantised
+	// into an artifact; with MinMeasuredPass the measured bandwidth of
+	// L1/L2-resident working sets lands near the calibrated plateau and
+	// the hierarchy stays monotone — the property the per-level TRIAD
+	// sweeps report.
+	for _, sys := range hw.IdunSystems() {
+		m := NewModel(sys)
+		m.MinMeasuredPass = DefaultMinMeasuredPass
+		p := m.ParamsFor(1)
+		l1Elems := int(sys.L1Total(1)) / 24
+		l2Elems := int(sys.L2Total(1)) / 24
+		bL1 := measuredBandwidth(m, l1Elems, 20)
+		bL2 := measuredBandwidth(m, l2Elems, 20)
+		if math.Abs(bL1-float64(p.L1)) > 0.05*float64(p.L1) {
+			t.Errorf("%s: measured L1 %.1f GB/s, plateau %.1f", sys.Name, bL1/1e9, float64(p.L1)/1e9)
+		}
+		if math.Abs(bL2-float64(p.L2)) > 0.05*float64(p.L2) {
+			t.Errorf("%s: measured L2 %.1f GB/s, plateau %.1f", sys.Name, bL2/1e9, float64(p.L2)/1e9)
+		}
+		if !(bL1 > bL2 && bL2 > float64(p.L3)) {
+			t.Errorf("%s: hierarchy not monotone: L1 %.1f, L2 %.1f, L3 plateau %.1f GB/s",
+				sys.Name, bL1/1e9, bL2/1e9, float64(p.L3)/1e9)
+		}
+	}
+}
+
+func TestMinMeasuredPassLeavesLongPassesUntouched(t *testing.T) {
+	// A working set whose single pass already exceeds the floor must
+	// produce bit-identical samples with and without MinMeasuredPass:
+	// the L3/DRAM sweeps that calibrate against Table VI never batch.
+	sys := hw.IdunGold6148
+	plain := NewModel(sys)
+	batched := NewModel(sys)
+	batched.MinMeasuredPass = DefaultMinMeasuredPass
+	elems := 1 << 22 // 96 MiB: DRAM-resident, pass ~1 ms
+	a := plain.NewInvocation(elems, hw.AffinityClose, 1, 0, 1021)
+	b := batched.NewInvocation(elems, hw.AffinityClose, 1, 0, 1021)
+	if a.SetupTime() != b.SetupTime() || a.WarmupTime() != b.WarmupTime() {
+		t.Fatal("setup/warmup diverged")
+	}
+	for i := 0; i < 10; i++ {
+		if sa, sb := a.StepTime(), b.StepTime(); sa != sb {
+			t.Fatalf("step %d diverged: %v vs %v", i, sa, sb)
+		}
+		if a.Work() != b.Work() {
+			t.Fatal("work diverged")
+		}
+	}
+}
+
+func TestMinMeasuredPassBatchesDeterministically(t *testing.T) {
+	// Batched invocations stay seed-deterministic and move passes x 24N
+	// bytes per step.
+	sys := hw.IdunGold6148
+	m := NewModel(sys)
+	m.MinMeasuredPass = DefaultMinMeasuredPass
+	elems := 1 << 10
+	a := m.NewInvocation(elems, hw.AffinityClose, 1, 3, 99)
+	b := m.NewInvocation(elems, hw.AffinityClose, 1, 3, 99)
+	if a.passes <= 1 {
+		t.Fatalf("tiny working set not batched: passes = %d", a.passes)
+	}
+	if got, want := a.Work(), units.TriadBytes(elems)*float64(a.passes); got != want {
+		t.Fatalf("Work = %v, want %v", got, want)
+	}
+	for i := 0; i < 5; i++ {
+		if sa, sb := a.StepTime(), b.StepTime(); sa != sb {
+			t.Fatalf("equal seeds diverged at step %d", i)
+		}
+	}
+}

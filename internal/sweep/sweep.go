@@ -15,7 +15,14 @@
 // order-insensitive incumbent protocol. That is a weaker guarantee than
 // across-sweep concurrency — the winner and its value are invariant, but
 // pruning counts and sample totals may differ from serial (only ever
-// toward less pruning) — which is why it is opt-in per Runner or Spec.
+// toward less pruning). The default policy sizes shard pools adaptively
+// from spare host parallelism; pin CaseShards to 1 for the strictly
+// serial evaluation loop.
+//
+// Sweeps stop being fully independent when a plan graph says so: RunPlan
+// executes Nodes whose SeedFrom edges chain same-metric sweeps, seeding a
+// dependent sweep's incumbent with its dependency's measured winner so
+// cross-sweep knowledge pre-prunes the search (see Node and RunPlan).
 package sweep
 
 import (
@@ -36,20 +43,30 @@ type Spec struct {
 	Name  string
 	Clock vclock.Clock
 	Cases []bench.Case
-	// CaseShards overrides the Runner's case-shard count for this sweep
-	// (0 = use the Runner's; 1 = force serial evaluation). See
-	// Runner.CaseShards.
+	// CaseShards overrides the Runner's case-shard policy for this sweep
+	// (0 = use the Runner's, which may size adaptively; 1 = force serial
+	// evaluation). See Runner.CaseShards.
 	CaseShards int
 }
 
 // Outcome pairs a finished sweep with its typed winning configuration.
 type Outcome struct {
 	Name string
+	// ID is the sweep's plan-graph identity (empty under the flat Run
+	// entry point, which has no graph).
+	ID string
 	// Result is the tuner's full search result.
 	Result *core.Result
 	// Best is the winner's typed identity (nil only if the winning Case
 	// itself carried no config, e.g. a test fake).
 	Best bench.Config
+	// SeededFrom names the plan-graph sweep whose measured winner
+	// pre-seeded this sweep's incumbent bound (empty when the sweep
+	// started unseeded). Only RunPlan sets it.
+	SeededFrom string
+	// SeedValue is the pre-seeded incumbent in metric base units (zero
+	// when SeededFrom is empty).
+	SeedValue float64
 }
 
 // BestValue returns the winning mean in metric base units.
@@ -103,6 +120,10 @@ type Hooks struct {
 	CaseEvaluated func(sweep string, out *bench.Outcome)
 	// SweepWon fires when a sweep finishes with its winner.
 	SweepWon func(o *Outcome)
+	// SweepSeeded fires when RunPlan releases a dependent sweep with its
+	// incumbent pre-seeded by a finished dependency's winner. id and from
+	// are plan-graph IDs; value is the seed in metric base units.
+	SweepSeeded func(id, from string, value float64)
 }
 
 // Runner executes sweeps with a shared budget and traversal order.
@@ -117,13 +138,22 @@ type Runner struct {
 	// Workers caps sweep-level concurrency (default GOMAXPROCS).
 	Workers int
 	// CaseShards is the number of workers evaluating cases concurrently
-	// *within* each sweep (0 or 1 = strictly serial case evaluation, the
-	// default). Sharded sweeps share a monotone atomic incumbent, so stop
-	// condition 4 keeps pruning conservatively and the winner is
-	// shard-count-invariant on the simulated engines; see core.Tuner. Like
+	// *within* each sweep. 1 forces strictly serial case evaluation (the
+	// paper's loop); n > 1 fixes the shard pool; 0 (the default) sizes it
+	// adaptively: each sweep gets the host parallelism left over once
+	// sweep-level concurrency is accounted for, capped so no shard owns
+	// fewer than a handful of cases, and auto-disables (serial) whenever
+	// sweep-level parallelism already saturates the host or the Runner is
+	// Serial (a Serial runner stays fully single-threaded). Sharded sweeps
+	// share a monotone atomic incumbent, so stop condition 4 keeps pruning
+	// conservatively and the winner is shard-count-invariant on the
+	// simulated engines; see core.Tuner. Search cost (PrunedCount,
+	// TotalSamples, Elapsed) may differ between shard counts — callers
+	// asserting bit-identical search cost must pin CaseShards to 1. Like
 	// sweep-level concurrency, case sharding is for simulated engines
-	// only — native wall-clock measurement would contend on the host. A
-	// Spec may override the count per sweep via Spec.CaseShards.
+	// only — native callers must pin 1: concurrent wall-clock measurement
+	// would contend on the host. A Spec may override the count per sweep
+	// via Spec.CaseShards.
 	CaseShards int
 	// Hooks observe execution; see Hooks.
 	Hooks Hooks
@@ -175,7 +205,7 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 			if failFast && failed.Load() {
 				return
 			}
-			outs[i], errs[i] = r.runOne(ctx, specs[i])
+			outs[i], errs[i] = r.runOne(ctx, specs[i], r.shardsFor(specs[i], len(specs)), seedNone)
 			if errs[i] != nil {
 				failed.Store(true)
 			}
@@ -193,7 +223,61 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	return outs, nil
 }
 
-func (r *Runner) runOne(ctx context.Context, s Spec) (Outcome, error) {
+// minShardCases is the smallest case count worth giving an adaptive shard
+// worker: below it, shard startup and incumbent traffic outweigh the
+// concurrency, so small sweeps stay serial on their own.
+const minShardCases = 8
+
+// shardsFor resolves one sweep's case-shard count: the Spec's override
+// first, then the Runner's fixed count, then the adaptive policy — spare
+// host parallelism divided across the sweeps that can run concurrently,
+// capped by the sweep's case count. The policy is a pure function of the
+// run's shape (never of live load), so re-runs of one configuration stay
+// deterministic on a given host.
+func (r *Runner) shardsFor(s Spec, concurrent int) int {
+	if s.CaseShards != 0 {
+		return s.CaseShards
+	}
+	if r.CaseShards != 0 {
+		return r.CaseShards
+	}
+	if r.Serial {
+		// Serial means serial: callers set it for debugging and for
+		// bit-exact baselines, so the adaptive policy must not sneak
+		// concurrency back in through shard workers.
+		return 1
+	}
+	host := parallel.DefaultThreads()
+	sweepWorkers := r.Workers
+	if sweepWorkers <= 0 {
+		sweepWorkers = host
+	}
+	if concurrent > 0 && sweepWorkers > concurrent {
+		sweepWorkers = concurrent
+	}
+	spare := host / sweepWorkers
+	if spare <= 1 {
+		return 1 // sweep-level parallelism already saturates the host
+	}
+	if most := (len(s.Cases) + minShardCases - 1) / minShardCases; spare > most {
+		spare = most
+	}
+	if spare < 1 {
+		spare = 1
+	}
+	return spare
+}
+
+// seedNone marks an unseeded runOne call.
+var seedNone = seed{}
+
+// seed carries a pre-seeded incumbent into runOne.
+type seed struct {
+	from  string  // plan-graph ID of the sweep whose winner is the bound
+	value float64 // bound in metric base units (0 = none)
+}
+
+func (r *Runner) runOne(ctx context.Context, s Spec, shards int, sd seed) (Outcome, error) {
 	if len(s.Cases) == 0 {
 		return Outcome{}, fmt.Errorf("sweep: %s: empty case list", s.Name)
 	}
@@ -201,10 +285,8 @@ func (r *Runner) runOne(ctx context.Context, s Spec) (Outcome, error) {
 		r.Hooks.SweepStarted(s.Name, len(s.Cases))
 	}
 	tuner := core.NewTuner(s.Clock, r.Budget, r.Order)
-	tuner.Shards = r.CaseShards
-	if s.CaseShards != 0 {
-		tuner.Shards = s.CaseShards
-	}
+	tuner.Shards = shards
+	tuner.Incumbent = sd.value
 	if r.Hooks.CaseEvaluated != nil {
 		tuner.OnOutcome = func(out *bench.Outcome) { r.Hooks.CaseEvaluated(s.Name, out) }
 	}
@@ -212,7 +294,7 @@ func (r *Runner) runOne(ctx context.Context, s Spec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, fmt.Errorf("sweep: %s: %w", s.Name, err)
 	}
-	out := Outcome{Name: s.Name, Result: res}
+	out := Outcome{Name: s.Name, Result: res, SeededFrom: sd.from, SeedValue: sd.value}
 	if res.Best != nil {
 		out.Best = res.Best.Config
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rooftune/internal/bench"
+	"rooftune/internal/sweep"
 )
 
 // Conform runs one workload through the registry's behavioural contract
@@ -17,6 +18,9 @@ import (
 //
 //   - Plan must succeed and contribute something: at least one sweep, or
 //     a warning naming each region that filtered empty.
+//   - The plan graph is well-formed: every sweep has a non-empty unique
+//     ID, SeedFrom edges reference planned IDs, form no cycles, and stay
+//     within one metric (sweep.PlanViolations).
 //   - Every planned sweep has a name, a clock, and at least one case.
 //   - Every case has a unique non-empty Key, a non-empty Describe, and a
 //     non-nil typed Config — the identity the session recovers winners
@@ -42,6 +46,11 @@ func Conform(w Workload, t Target, p Params) []error {
 	}
 	if len(plan.Sweeps) == 0 && len(plan.Warnings) == 0 {
 		fail("%s: Plan contributed no sweeps and no warnings — a silent no-op", name)
+	}
+	// Plan-graph invariants: a malformed graph would otherwise only fail
+	// at rooftune.New once this workload is combined into a session.
+	for _, gerr := range sweep.PlanViolations(plan.Nodes()) {
+		fail("%s: %v", name, gerr)
 	}
 	for i, pl := range plan.Sweeps {
 		sweepName := pl.Spec.Name

@@ -45,8 +45,9 @@ func goodSweep(metric bench.Metric, keys ...string) sweep.Spec {
 
 func TestConformAcceptsWellFormedPlans(t *testing.T) {
 	var plan Plan
-	plan.Add(goodSweep(bench.MetricBandwidth, "a", "b"), Point{Sockets: 1, Region: "DRAM"})
-	plan.Add(goodSweep(bench.MetricFlops, "c"), Point{Compute: true, Sockets: 1, Label: "fake"})
+	plan.Add("fake/DRAM/1s", goodSweep(bench.MetricBandwidth, "a", "b"), Point{Sockets: 1, Region: "DRAM"})
+	plan.Chain("fake/L3/1s", "fake/DRAM/1s", goodSweep(bench.MetricBandwidth, "l3"), Point{Sockets: 1, Region: "L3"})
+	plan.Add("fake/compute/1s", goodSweep(bench.MetricFlops, "c"), Point{Compute: true, Sockets: 1, Label: "fake"})
 	plan.Warnf("a region filtered empty")
 	if errs := Conform(fakeWorkload{name: "ok", plan: plan}, Target{}, Params{}); len(errs) != 0 {
 		t.Fatalf("well-formed plan rejected: %v", errs)
@@ -66,6 +67,13 @@ func TestConformCatchesViolations(t *testing.T) {
 		fakeCase{key: "n", metric: bench.MetricFlops, cfg: nil},
 	}}
 
+	chained := func(edit func(p *Plan)) Plan {
+		var p Plan
+		p.Add("g/a", goodSweep(bench.MetricFlops, "a"), Point{Compute: true, Sockets: 1})
+		p.Chain("g/b", "g/a", goodSweep(bench.MetricFlops, "b"), Point{Compute: true, Sockets: 1})
+		edit(&p)
+		return p
+	}
 	tests := []struct {
 		name string
 		plan Plan
@@ -81,6 +89,15 @@ func TestConformCatchesViolations(t *testing.T) {
 		{"compute point with region", planOf(goodSweep(bench.MetricFlops, "m"), Point{Compute: true, Sockets: 1, Region: "L3"}), "with Region"},
 		{"metric/side mismatch", planOf(goodSweep(bench.MetricBandwidth, "m"), Point{Compute: true, Sockets: 1}), "lands on the compute side"},
 		{"zero sockets", planOf(goodSweep(bench.MetricFlops, "m"), Point{Compute: true}), "socket count 0"},
+		// Plan-graph invariants.
+		{"empty plan-graph id", chained(func(p *Plan) { p.Sweeps[0].ID = "" }), "empty plan-graph ID"},
+		{"duplicate plan-graph id", chained(func(p *Plan) { p.Sweeps[1].ID = "g/a"; p.Sweeps[1].SeedFrom = "" }), "share plan-graph ID"},
+		{"dangling seed edge", chained(func(p *Plan) { p.Sweeps[1].SeedFrom = "ghost" }), "unknown node"},
+		{"seed cycle", chained(func(p *Plan) { p.Sweeps[0].SeedFrom = "g/b" }), "cycle"},
+		{"cross-metric edge", chained(func(p *Plan) {
+			p.Sweeps[1].Spec = goodSweep(bench.MetricBandwidth, "bw")
+			p.Sweeps[1].Point = Point{Sockets: 1, Region: "DRAM"}
+		}), "cross-metric"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,6 +130,6 @@ var errTest = errors.New("synthetic failure")
 
 func planOf(s sweep.Spec, pt Point) Plan {
 	var p Plan
-	p.Add(s, pt)
+	p.Add("fake/"+s.Name, s, pt)
 	return p
 }

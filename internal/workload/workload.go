@@ -57,6 +57,12 @@ type Params struct {
 	SpMVN, SpMVNNZPerRow int
 	// StencilNX and StencilNY are the stencil workload's grid dimensions.
 	StencilNX, StencilNY int
+	// TriadLevels selects the residency regions the TRIAD workload plans
+	// on simulated systems, a subset of hw.CacheLevels (nil means the
+	// paper's L3+DRAM pair). Native targets ignore it: the host's cache
+	// boundaries are unknown, so only the assumed-LLC cache/DRAM split is
+	// available.
+	TriadLevels []string
 }
 
 // Point says how one sweep's winning outcome lands in the session Result:
@@ -90,10 +96,24 @@ type Point struct {
 	TheoreticalBandwidth units.Bandwidth
 }
 
-// Planned pairs one sweep spec with the point its winner becomes.
+// Planned pairs one sweep spec with the point its winner becomes, under
+// a stable plan-graph identity.
+//
+// ID names the sweep in the session's plan graph; it must be non-empty
+// and unique across every sweep the session plans, so the convention is
+// "<workload>/<region-or-axis>/<target>" (e.g. "triad/L3/2s"). SeedFrom
+// optionally names another planned sweep of the same metric: when that
+// sweep finishes with a measured winner, this sweep's incumbent bound is
+// pre-seeded with the winner's value, so stop condition 4 prunes from the
+// very first case. Cycles, unknown IDs and cross-metric edges are
+// construction-time errors (rooftune.New validates the assembled graph;
+// the conformance harness rejects them per workload), never mid-run
+// surprises.
 type Planned struct {
-	Spec  sweep.Spec
-	Point Point
+	ID       string
+	SeedFrom string
+	Spec     sweep.Spec
+	Point    Point
 }
 
 // Plan is a workload's full contribution to a session run.
@@ -101,19 +121,37 @@ type Plan struct {
 	Sweeps []Planned
 	// Warnings name planned-but-empty sweeps: regions whose case list
 	// filtered to nothing under the session's parameters. The session
-	// surfaces each as a progress event and on Result.Warnings, so a
-	// missing roofline ceiling is never silent.
+	// surfaces each as a progress event and on Result.Warnings — prefixed
+	// with the planning workload's name so the line is attributable — and
+	// a missing roofline ceiling is never silent.
 	Warnings []string
 }
 
-// Add appends one sweep to the plan.
-func (p *Plan) Add(s sweep.Spec, pt Point) {
-	p.Sweeps = append(p.Sweeps, Planned{Spec: s, Point: pt})
+// Add appends one sweep to the plan under its plan-graph ID.
+func (p *Plan) Add(id string, s sweep.Spec, pt Point) {
+	p.Sweeps = append(p.Sweeps, Planned{ID: id, Spec: s, Point: pt})
+}
+
+// Chain appends one sweep whose incumbent is pre-seeded by the winner of
+// the previously planned sweep seedFrom (same metric; the edge is
+// validated with the rest of the graph). Sessions only honour the edge
+// under rooftune.WithSweepChaining; otherwise the sweep runs unseeded.
+func (p *Plan) Chain(id, seedFrom string, s sweep.Spec, pt Point) {
+	p.Sweeps = append(p.Sweeps, Planned{ID: id, SeedFrom: seedFrom, Spec: s, Point: pt})
 }
 
 // Warnf records one formatted warning.
 func (p *Plan) Warnf(format string, args ...any) {
 	p.Warnings = append(p.Warnings, fmt.Sprintf(format, args...))
+}
+
+// Nodes converts the plan's sweeps into the sweep layer's graph nodes.
+func (p *Plan) Nodes() []sweep.Node {
+	nodes := make([]sweep.Node, len(p.Sweeps))
+	for i, pl := range p.Sweeps {
+		nodes[i] = sweep.Node{ID: pl.ID, SeedFrom: pl.SeedFrom, Spec: pl.Spec}
+	}
+	return nodes
 }
 
 // NativeThreadGrid returns the native thread-count search axis shared by

@@ -37,6 +37,7 @@ func (Workload) Plan(t workload.Target, p workload.Params) (workload.Plan, error
 			cases[i] = eng.DGEMMCase(d.N, d.M, d.K)
 		}
 		plan.Add(
+			"dgemm/native",
 			sweep.Spec{Name: "native DGEMM", Clock: eng.Clock, Cases: cases},
 			workload.Point{Compute: true, Sockets: 1},
 		)
@@ -50,6 +51,7 @@ func (Workload) Plan(t workload.Target, p workload.Params) (workload.Plan, error
 			cases[i] = eng.DGEMMCase(d.N, d.M, d.K, sockets)
 		}
 		plan.Add(
+			fmt.Sprintf("dgemm/%ds", sockets),
 			sweep.Spec{Name: fmt.Sprintf("DGEMM (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
 			workload.Point{Compute: true, Sockets: sockets, TheoreticalFlops: sys.TheoreticalFlops(sockets)},
 		)

@@ -71,6 +71,7 @@ func planSimulated(sys hw.System, p workload.Params) workload.Plan {
 			cases = append(cases, eng.SpMVCase(p.SpMVN, p.SpMVNNZPerRow, chunk, sockets))
 		}
 		plan.Add(
+			fmt.Sprintf("spmv/%ds", sockets),
 			sweep.Spec{Name: fmt.Sprintf("SpMV (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
 			workload.Point{Compute: true, Label: "SpMV", Sockets: sockets, Intensity: intensity},
 		)
@@ -90,6 +91,7 @@ func planNative(eng *bench.NativeEngine, p workload.Params) workload.Plan {
 		}
 	}
 	plan.Add(
+		"spmv/native",
 		sweep.Spec{Name: "native SpMV", Clock: eng.Clock, Cases: cases},
 		workload.Point{Compute: true, Label: "SpMV", Sockets: 1, Intensity: a.Intensity()},
 	)

@@ -78,6 +78,7 @@ func planSimulated(sys hw.System, p workload.Params) workload.Plan {
 			cases = append(cases, eng.StencilCase(p.StencilNX, p.StencilNY, tile[0], tile[1], sockets))
 		}
 		plan.Add(
+			fmt.Sprintf("stencil/%ds", sockets),
 			sweep.Spec{Name: fmt.Sprintf("stencil (%d sockets)", sockets), Clock: eng.Clock, Cases: cases},
 			workload.Point{Compute: true, Label: "stencil", Sockets: sockets, Intensity: intensity},
 		)
@@ -94,6 +95,7 @@ func planNative(eng *bench.NativeEngine, p workload.Params) workload.Plan {
 		}
 	}
 	plan.Add(
+		"stencil/native",
 		sweep.Spec{Name: "native stencil", Clock: eng.Clock, Cases: cases},
 		workload.Point{Compute: true, Label: "stencil", Sockets: 1,
 			Intensity: simstencil.Intensity(p.StencilNX, p.StencilNY)},

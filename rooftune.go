@@ -23,17 +23,24 @@
 //     with the wall clock, producing a genuine roofline of the host.
 //
 // The benchmarks themselves are pluggable Workloads. A Workload turns
-// the session's target and parameters into autotuning sweeps plus the
-// Point metadata saying how each winner lands in the Result. Four are
-// built in: "dgemm" (compute ceilings), "triad" (bandwidth ceilings),
-// and the §VII extensions "spmv" and "stencil", whose tuned winners land
-// as application points at their own operational intensities in the
-// memory-bound region between TRIAD and DGEMM. New benchmark families
-// (per-cache-level TRIAD regions, further kernels) are additive
-// packages — RegisterWorkload plus WithWorkloads, no edits here. See the
-// Workload type and examples/custom-workload for a complete minimal
-// implementation, with internal/workloads/spmv as the full-scale
-// reference.
+// the session's target and parameters into a plan graph: autotuning
+// sweeps under stable IDs, each paired with the Point metadata saying
+// how its winner lands in the Result, optionally chained to another
+// same-metric sweep via a SeedFrom edge. Independent sweeps run
+// concurrently; under WithSweepChaining a finished dependency's winner
+// pre-seeds its dependents' incumbent bounds so stop condition 4 prunes
+// from the very first case, without changing any winner. Four workloads
+// are built in: "dgemm" (compute ceilings), "triad" (bandwidth ceilings
+// — the paper's L3/DRAM pair by default, or per-cache-level L1/L2/L3/
+// DRAM ceilings via WithTriadLevels, chained in increasing-bandwidth
+// order), and the §VII extensions "spmv" and "stencil", whose tuned
+// winners land as application points at their own operational
+// intensities in the memory-bound region between TRIAD and DGEMM. New
+// benchmark families are additive packages — RegisterWorkload plus
+// WithWorkloads, no edits here. See the Workload type and
+// examples/custom-workload for a complete minimal implementation, with
+// internal/workloads/spmv as the full-scale reference and
+// internal/workloads/triad for a chained multi-sweep plan.
 //
 // The returned Result contains the tuned peak compute and bandwidth
 // values, the winning configurations, and a renderable roofline model.
@@ -95,9 +102,13 @@ type ComputePoint struct {
 
 // MemoryPoint is a tuned bandwidth ceiling.
 type MemoryPoint struct {
-	Sockets   int
-	Region    string // "DRAM", "L3", ... ("cache"/"DRAM" for native)
-	Elements  int    // TRIAD vector length at the peak
+	Sockets int
+	// Region names the residency region the ceiling was measured in:
+	// any of "L1", "L2", "L3", "DRAM" on simulated systems (the levels
+	// WithTriadLevels selects; L3+DRAM by default), "cache"/"DRAM" on
+	// native builds, or a custom workload's region label.
+	Region    string
+	Elements  int // TRIAD vector length at the peak
 	Bandwidth units.Bandwidth
 	// Theoretical is Eq. 11's peak for DRAM regions (zero otherwise).
 	Theoretical units.Bandwidth

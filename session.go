@@ -23,22 +23,24 @@ type settings struct {
 	native    bool
 	targetSet bool
 
-	seed       uint64
-	budget     *bench.Budget
-	space      []core.Dims
-	spaceSet   bool
-	threads    int
-	llc        units.ByteSize
-	triadLo    units.ByteSize
-	triadHi    units.ByteSize
-	spmvN      int
-	spmvNNZ    int
-	stencilNX  int
-	stencilNY  int
-	serial     bool
-	caseShards int
-	progress   func(Event)
-	workloads  []string
+	seed        uint64
+	budget      *bench.Budget
+	space       []core.Dims
+	spaceSet    bool
+	threads     int
+	llc         units.ByteSize
+	triadLo     units.ByteSize
+	triadHi     units.ByteSize
+	triadLevels []string
+	chain       bool
+	spmvN       int
+	spmvNNZ     int
+	stencilNX   int
+	stencilNY   int
+	serial      bool
+	caseShards  int
+	progress    func(Event)
+	workloads   []string
 }
 
 // Option configures a Session under construction. Options are applied in
@@ -154,6 +156,44 @@ func WithTriadRange(lo, hi units.ByteSize) Option {
 	}
 }
 
+// WithTriadLevels selects the cache-residency regions the TRIAD workload
+// sweeps on a simulated system, any subset of L1, L2, L3 and DRAM (the
+// default is the paper's published L3+DRAM pair). Each selected level
+// lands its own bandwidth ceiling in Result.Memory — the §VII/CARM-style
+// cache-aware roofline — and the levels of one socket configuration form
+// a chain in increasing-bandwidth order (DRAM seeds L3 seeds L2 seeds
+// L1) that WithSweepChaining can exploit. Unknown or duplicate level
+// names are rejected here; combining with WithNative is rejected at New
+// (the host's true cache boundaries are unknown — native builds keep the
+// assumed-LLC cache/DRAM split).
+func WithTriadLevels(levels ...string) Option {
+	return func(s *settings) error {
+		if err := hw.ValidateCacheLevels(levels); err != nil {
+			return fmt.Errorf("rooftune: WithTriadLevels: %w", err)
+		}
+		s.triadLevels = levels
+		return nil
+	}
+}
+
+// WithSweepChaining enables (or disables — the default) the plan graph's
+// SeedFrom edges: when a sweep's dependency finishes with a measured
+// winner, the dependent sweep starts with its incumbent pre-seeded by
+// that value, so stop condition 4 prunes from the very first case. The
+// winning configurations and values are unchanged by chaining — a seed is
+// a measured mean of the same metric, so it can only prune configurations
+// already known to lose — only PrunedCount and TotalSamples move (toward
+// more pruning, i.e. less search cost). Each seeding is announced as an
+// EventSweepSeeded progress event; a chain ordered badly enough to prune
+// a whole sweep surfaces through Result.Warnings via the BestPruned
+// salvage path, exactly like a caller-supplied incumbent.
+func WithSweepChaining(on bool) Option {
+	return func(s *settings) error {
+		s.chain = on
+		return nil
+	}
+}
+
 // WithSpMVShape sets the SpMV workload's synthetic matrix: an n x n CSR
 // matrix with nnzPerRow stored elements per row (defaults: n = 262144
 // simulated / 65536 native, nnzPerRow = 16; a zero keeps its default).
@@ -184,7 +224,10 @@ func WithStencilGrid(nx, ny int) Option {
 // WithSerial disables concurrent sweep execution on simulated targets.
 // Every sweep owns its engine, clock and noise streams, so parallel
 // results are bit-identical to serial ones (asserted by
-// TestSimulatedParallelDeterminism); WithSerial exists for debugging.
+// TestSimulatedParallelDeterminism); WithSerial exists for debugging. A
+// serial session is fully single-threaded: the adaptive case-shard
+// default auto-disables too (an explicit WithCaseShards(n > 1) still
+// overrides).
 func WithSerial() Option {
 	return func(s *settings) error {
 		s.serial = true
@@ -210,15 +253,21 @@ func WithProgress(fn func(Event)) Option {
 	}
 }
 
-// WithCaseShards sets how many workers evaluate configurations
-// concurrently within each sweep (default 0 = strictly serial, the
-// paper's evaluation process; 1 also means serial). Sharded workers share
-// a monotone atomic incumbent bound, so stop condition 4 keeps pruning
+// WithCaseShards pins how many workers evaluate configurations
+// concurrently within each sweep: 1 forces the strictly serial loop (the
+// paper's evaluation process), n > 1 fixes the shard pool, and 0 restores
+// the default adaptive policy — each sweep's pool is sized from the host
+// parallelism left over once sweep-level concurrency is accounted for,
+// capped by the sweep's case count, and sharding auto-disables whenever
+// sweep-level parallelism already saturates the host (so on most hosts
+// the default is still serial evaluation). Sharded workers share a
+// monotone atomic incumbent bound, so stop condition 4 keeps pruning
 // conservatively and the winning configuration and value match serial
-// execution exactly on the simulated engines — only PrunedCount and
-// TotalSamples may differ (toward less pruning, never more). Case
-// sharding requires a simulated target: native wall-clock measurement
-// would contend on the host, so New rejects it with WithNative.
+// execution exactly on the simulated engines — only PrunedCount,
+// TotalSamples and SearchTime may differ (toward less pruning, never
+// more). Case sharding requires a simulated target: native wall-clock
+// measurement would contend on the host, so New rejects n > 1 with
+// WithNative and native sessions always evaluate serially.
 func WithCaseShards(n int) Option {
 	return func(s *settings) error {
 		if n < 0 {
@@ -338,6 +387,9 @@ func New(opts ...Option) (*Session, error) {
 	if s.native && s.caseShards > 1 {
 		return nil, fmt.Errorf("rooftune: WithCaseShards(%d) requires a simulated target: concurrent wall-clock measurement would contend on the host", s.caseShards)
 	}
+	if s.native && len(s.triadLevels) > 0 {
+		return nil, fmt.Errorf("rooftune: WithTriadLevels requires a simulated target: the host's cache boundaries are unknown (native builds use the assumed-LLC cache/DRAM split)")
+	}
 	if len(s.workloads) == 0 {
 		s.workloads = []string{"dgemm", "triad"}
 	}
@@ -349,29 +401,33 @@ func New(opts ...Option) (*Session, error) {
 		}
 		sess.workloads = append(sess.workloads, w)
 	}
+	// Validate the assembled plan graph now, while the caller can still
+	// react: a custom workload with duplicate IDs, a dangling or cyclic
+	// SeedFrom edge, or a cross-metric edge fails here, not minutes into
+	// a run. Simulated planning is pure and cheap; native planning builds
+	// a real engine and synthesises kernel inputs, so native sessions
+	// defer the same check to the start of Run (still before any sweep
+	// executes).
+	if !s.native {
+		if _, _, err := sess.plan(workload.Target{Sys: s.sys}, &Result{}, func(Event) {}); err != nil {
+			return nil, err
+		}
+	}
 	return sess, nil
 }
 
-// Run plans every workload's sweeps, executes them, and assembles the
-// tuned roofline. Cancelling ctx aborts the run between kernel executions
-// and returns ctx.Err(); no partial Result is produced, and no sweep
-// goroutine outlives the call.
-func (s *Session) Run(ctx context.Context) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	emit, stopEvents := s.startEvents()
-	// Every sweep goroutine is joined before runner.Run returns, so by the
-	// time this defer closes the channel no sender remains; the join below
-	// it guarantees the last event is delivered before Run returns.
-	defer stopEvents()
-
-	target, res := s.target()
+// plan resolves every workload's contribution for the target: it runs
+// each Plan, attributes and emits empty-region warnings, and validates
+// the assembled plan graph (unique IDs, resolvable acyclic SeedFrom
+// edges, same-metric chains) before anything executes. It is shared by
+// New (construction-time validation on simulated targets) and Run.
+func (s *Session) plan(target workload.Target, res *Result, emit func(Event)) ([]sweep.Node, []Point, error) {
 	params := workload.Params{
 		Seed:          s.cfg.seed,
 		Space:         s.cfg.space,
 		TriadLo:       s.cfg.triadLo,
 		TriadHi:       s.cfg.triadHi,
+		TriadLevels:   s.cfg.triadLevels,
 		AssumedLLC:    s.cfg.llc,
 		Threads:       s.cfg.threads,
 		SpMVN:         s.cfg.spmvN,
@@ -379,27 +435,62 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		StencilNX:     s.cfg.stencilNX,
 		StencilNY:     s.cfg.stencilNY,
 	}
-
 	var (
-		specs  []sweep.Spec
+		nodes  []sweep.Node
 		points []Point
 	)
 	for _, w := range s.workloads {
 		plan, err := w.Plan(target, params)
 		if err != nil {
-			return nil, fmt.Errorf("rooftune: workload %s: %w", w.Name(), err)
+			return nil, nil, fmt.Errorf("rooftune: workload %s: %w", w.Name(), err)
 		}
 		for _, warning := range plan.Warnings {
-			res.Warnings = append(res.Warnings, warning)
-			emit(Event{Kind: EventRegionEmpty, Warning: warning})
+			// Attribute the line to the workload that planned the region:
+			// a bare region name is ambiguous once several workloads plan
+			// sweeps into one session.
+			attributed := fmt.Sprintf("workload %s: %s", w.Name(), warning)
+			res.Warnings = append(res.Warnings, attributed)
+			emit(Event{Kind: EventRegionEmpty, Workload: w.Name(), Warning: attributed})
 		}
 		for _, pl := range plan.Sweeps {
-			specs = append(specs, pl.Spec)
+			nodes = append(nodes, sweep.Node{ID: pl.ID, SeedFrom: pl.SeedFrom, Spec: pl.Spec})
 			points = append(points, pl.Point)
 		}
 	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("rooftune: every planned sweep is empty: %v", res.Warnings)
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("rooftune: every planned sweep is empty: %v", res.Warnings)
+	}
+	if err := sweep.ValidatePlan(nodes); err != nil {
+		return nil, nil, fmt.Errorf("rooftune: invalid plan graph: %w", err)
+	}
+	return nodes, points, nil
+}
+
+// Run plans every workload's sweeps, executes the plan graph, and
+// assembles the tuned roofline. Cancelling ctx aborts the run between
+// kernel executions and returns ctx.Err(); no partial Result is produced,
+// and no sweep goroutine outlives the call.
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	emit, stopEvents := s.startEvents()
+	// Every sweep goroutine is joined before runner.RunPlan returns, so by
+	// the time this defer closes the channel no sender remains; the join
+	// below it guarantees the last event is delivered before Run returns.
+	defer stopEvents()
+
+	target, res := s.target()
+	nodes, points, err := s.plan(target, res, emit)
+	if err != nil {
+		return nil, err
+	}
+	if !s.cfg.chain {
+		// The graph was validated with its edges; without chaining every
+		// sweep runs unseeded, exactly as the flat execution model did.
+		for i := range nodes {
+			nodes[i].SeedFrom = ""
+		}
 	}
 
 	runner := &sweep.Runner{
@@ -408,7 +499,18 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		Serial:     s.cfg.serial || s.cfg.native,
 		CaseShards: s.cfg.caseShards,
 	}
+	if s.cfg.native {
+		// Native measurement is wall-clock: shard workers would contend
+		// on the host, so the adaptive default is pinned off.
+		runner.CaseShards = 1
+	}
 	if s.cfg.progress != nil {
+		// Seeding events name sweeps, not node IDs, and report the seed
+		// in the sweep's reporting unit.
+		byID := make(map[string]sweep.Node, len(nodes))
+		for _, n := range nodes {
+			byID[n.ID] = n
+		}
 		runner.Hooks = sweep.Hooks{
 			SweepStarted: func(name string, cases int) {
 				emit(Event{Kind: EventSweepStarted, Sweep: name, Cases: cases})
@@ -432,10 +534,20 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 				}
 				emit(ev)
 			},
+			SweepSeeded: func(id, from string, value float64) {
+				to, src := byID[id], byID[from]
+				ev := Event{Kind: EventSweepSeeded, Sweep: to.Spec.Name, From: src.Spec.Name, Value: value}
+				if len(to.Spec.Cases) > 0 {
+					m := to.Spec.Cases[0].Metric()
+					ev.Value = m.Scale(value)
+					ev.Unit = m.Unit()
+				}
+				emit(ev)
+			},
 		}
 	}
 
-	outs, err := runner.Run(ctx, specs)
+	outs, err := runner.RunPlan(ctx, nodes)
 	if err != nil {
 		// Report a cancellation as the bare ctx.Err(); a genuine engine
 		// failure that merely raced with cancellation keeps its
@@ -540,6 +652,11 @@ const (
 	// residency region filtered to zero cases under the session's bounds:
 	// the roofline will be missing that ceiling.
 	EventRegionEmpty
+	// EventSweepSeeded fires, in a chained run (WithSweepChaining), when
+	// a sweep is released with its incumbent pre-seeded by a finished
+	// dependency's winner: From names the source sweep and Value/Unit
+	// carry the seed.
+	EventSweepSeeded
 )
 
 // String names the kind.
@@ -553,6 +670,8 @@ func (k EventKind) String() string {
 		return "sweep-won"
 	case EventRegionEmpty:
 		return "region-empty"
+	case EventSweepSeeded:
+		return "sweep-seeded"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -565,13 +684,20 @@ type Event struct {
 	// Sweep names the sweep (empty for EventRegionEmpty, whose region
 	// never became a sweep — see Warning).
 	Sweep string
+	// From names the source sweep whose winner seeded Sweep's incumbent
+	// (EventSweepSeeded).
+	From string
+	// Workload names the workload that planned the empty region
+	// (EventRegionEmpty); the Warning text carries it too.
+	Workload string
 	// Cases is the sweep's search-space size (EventSweepStarted).
 	Cases int
 	// Case describes the evaluated configuration (EventCaseEvaluated) or
 	// the winner (EventSweepWon).
 	Case string
 	// Value is the configuration's mean performance in Unit
-	// (EventCaseEvaluated, EventSweepWon).
+	// (EventCaseEvaluated, EventSweepWon), or the seed bound
+	// (EventSweepSeeded).
 	Value float64
 	// Unit is Value's reporting unit, "GFLOP/s" or "GB/s".
 	Unit string

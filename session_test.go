@@ -47,6 +47,10 @@ func TestNewValidation(t *testing.T) {
 		{"negative case shards", []Option{WithSystem("Gold 6148"), WithCaseShards(-1)}, "negative shard count"},
 		{"native case shards", []Option{WithNative(), WithCaseShards(2)}, "simulated target"},
 		{"case shards then native", []Option{WithCaseShards(4), WithNative()}, "simulated target"},
+		{"no triad levels", []Option{WithSystem("Gold 6148"), WithTriadLevels()}, "no residency levels"},
+		{"unknown triad level", []Option{WithSystem("Gold 6148"), WithTriadLevels("L7")}, `"L7"`},
+		{"duplicate triad level", []Option{WithSystem("Gold 6148"), WithTriadLevels("L2", "L2")}, "twice"},
+		{"native triad levels", []Option{WithNative(), WithTriadLevels("L1", "L2")}, "simulated target"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -140,6 +144,204 @@ func TestSpMVStencilSession(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res, again) {
 		t.Fatal("equal seeds must reproduce identical Results")
+	}
+}
+
+// TestChainedTriadLevels is the acceptance test for the per-level
+// cache-aware roofline and cross-sweep incumbent chaining: a simulated
+// session with all four residency regions produces a bandwidth ceiling
+// per level in decreasing order L1 >= L2 >= L3 >= DRAM, renders every
+// ceiling in the text and gnuplot output, and the chained run's winners
+// and values are bit-identical to the unchained run (chaining may only
+// change search cost).
+func TestChainedTriadLevels(t *testing.T) {
+	opts := func(chain bool, events *[]Event) []Option {
+		o := []Option{
+			WithSystem("Gold 6148"),
+			WithTriadLevels("L1", "L2", "L3", "DRAM"),
+			WithSweepChaining(chain),
+			// A small DGEMM space keeps the run interactive; the memory
+			// side — the subject here — is the full per-level sweep.
+			WithSpace([]core.Dims{{N: 512, M: 512, K: 128}, {N: 2048, M: 2048, K: 128}}),
+		}
+		if events != nil {
+			o = append(o, WithProgress(func(ev Event) { *events = append(*events, ev) }))
+		}
+		return o
+	}
+	var events []Event
+	chained, err := New(opts(true, &events)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chained.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, _ := hw.Get("Gold 6148")
+	levels := []string{"L1", "L2", "L3", "DRAM"}
+	if want := len(levels) * len(sys.SocketConfigs()); len(res.Memory) != want {
+		t.Fatalf("memory points: %d, want %d (%v)", len(res.Memory), want, res.Memory)
+	}
+	byConfig := map[int]map[string]MemoryPoint{}
+	for _, m := range res.Memory {
+		if byConfig[m.Sockets] == nil {
+			byConfig[m.Sockets] = map[string]MemoryPoint{}
+		}
+		byConfig[m.Sockets][m.Region] = m
+		if m.Bandwidth <= 0 || m.Elements <= 0 {
+			t.Fatalf("malformed memory point %+v", m)
+		}
+	}
+	for _, sockets := range sys.SocketConfigs() {
+		pts := byConfig[sockets]
+		for i := 1; i < len(levels); i++ {
+			hi, lo := pts[levels[i-1]], pts[levels[i]]
+			if hi.Bandwidth < lo.Bandwidth {
+				t.Fatalf("%d socket(s): %s bandwidth %v below %s %v — the hierarchy must be monotone",
+					sockets, levels[i-1], hi.Bandwidth, levels[i], lo.Bandwidth)
+			}
+		}
+	}
+
+	// Every per-level ceiling renders in the text and gnuplot output.
+	ascii := res.Roofline.RenderASCII(76, 20)
+	gnuplot := res.Roofline.RenderGnuplot()
+	for _, lv := range levels {
+		for _, sockets := range sys.SocketConfigs() {
+			name := fmt.Sprintf("%s, %d socket(s)", lv, sockets)
+			if !strings.Contains(ascii, name) {
+				t.Fatalf("ASCII render missing ceiling %q:\n%s", name, ascii)
+			}
+			if !strings.Contains(gnuplot, fmt.Sprintf("%q", name)) {
+				t.Fatalf("gnuplot render missing ceiling %q:\n%s", name, gnuplot)
+			}
+		}
+	}
+
+	// Chaining is observable: one seeding per dependent level per socket
+	// configuration, each naming its source sweep and a positive seed.
+	seeded := 0
+	for _, ev := range events {
+		if ev.Kind != EventSweepSeeded {
+			continue
+		}
+		seeded++
+		if ev.Sweep == "" || ev.From == "" || ev.Value <= 0 || ev.Unit != "GB/s" {
+			t.Fatalf("malformed sweep-seeded event: %+v", ev)
+		}
+	}
+	if want := (len(levels) - 1) * len(sys.SocketConfigs()); seeded != want {
+		t.Fatalf("sweep-seeded events: %d, want %d", seeded, want)
+	}
+
+	// The chained run's tuned points are bit-identical to the unchained
+	// run's: seeding prunes search cost, never winners. (PrunedCount and
+	// TotalSamples movement is asserted one level down, in the sweep
+	// package's chain determinism suite.)
+	unchained, err := New(opts(false, nil)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := unchained.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Memory, base.Memory) {
+		t.Fatalf("chained memory points diverged from unchained:\nchained:   %+v\nunchained: %+v", res.Memory, base.Memory)
+	}
+	if !reflect.DeepEqual(res.Compute, base.Compute) {
+		t.Fatalf("chained compute points diverged from unchained:\nchained:   %+v\nunchained: %+v", res.Compute, base.Compute)
+	}
+	if len(res.Warnings) != 0 || len(base.Warnings) != 0 {
+		t.Fatalf("warnings: chained %v, unchained %v", res.Warnings, base.Warnings)
+	}
+}
+
+// overChainWorkload chains two same-metric sweeps in the wrong direction
+// (a fast region seeding a slow one), so the dependent sweep's every
+// configuration is outer-pruned under chaining: the session must surface
+// the salvage value loudly.
+type overChainWorkload struct{}
+
+func (overChainWorkload) Name() string { return "over-chain" }
+
+func (overChainWorkload) Plan(t Target, p Params) (Plan, error) {
+	var plan Plan
+	mk := func(elems ...int) sweep.Spec {
+		eng := bench.NewSimEngine(*t.Sys, p.Seed)
+		var cases []bench.Case
+		for _, n := range elems {
+			cases = append(cases, eng.TriadCase(n, hw.AffinityClose, 1))
+		}
+		return sweep.Spec{Name: fmt.Sprintf("over-chain %d", len(plan.Sweeps)), Clock: eng.Clock, Cases: cases}
+	}
+	plan.Add("over-chain/fast", mk(1<<16, 1<<17), Point{Sockets: 1, Region: "L3"})
+	plan.Chain("over-chain/slow", "over-chain/fast", mk(1<<22, 1<<23), Point{Sockets: 1, Region: "DRAM"})
+	return plan, nil
+}
+
+var overChainOnce sync.Once
+
+func TestChainedOverPruningSurfaces(t *testing.T) {
+	overChainOnce.Do(func() {
+		if err := RegisterWorkload(overChainWorkload{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	sess, err := New(
+		WithSystemSpec(tinySystem()),
+		WithWorkloads("over-chain"),
+		WithSweepChaining(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		found = found || strings.Contains(w, "outer-pruned")
+	}
+	if !found {
+		t.Fatalf("over-pruned chained sweep must warn, got warnings %v", res.Warnings)
+	}
+	// The salvage value still lands (flagged), so the result is complete.
+	if len(res.Memory) != 2 {
+		t.Fatalf("memory points: %+v", res.Memory)
+	}
+}
+
+// badGraphWorkload plans a dangling SeedFrom edge; sessions must reject
+// it at New, not mid-run.
+type badGraphWorkload struct{}
+
+func (badGraphWorkload) Name() string { return "bad-graph" }
+
+func (badGraphWorkload) Plan(t Target, p Params) (Plan, error) {
+	var plan Plan
+	eng := bench.NewSimEngine(*t.Sys, p.Seed)
+	plan.Chain("bad/a", "ghost", sweep.Spec{
+		Name: "bad", Clock: eng.Clock,
+		Cases: []bench.Case{eng.TriadCase(1<<16, hw.AffinityClose, 1)},
+	}, Point{Sockets: 1, Region: "L3"})
+	return plan, nil
+}
+
+var badGraphOnce sync.Once
+
+func TestNewRejectsMalformedPlanGraph(t *testing.T) {
+	badGraphOnce.Do(func() {
+		if err := RegisterWorkload(badGraphWorkload{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, err := New(WithSystemSpec(tinySystem()), WithWorkloads("bad-graph"))
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("New must reject the dangling edge at construction, got %v", err)
 	}
 }
 
@@ -246,7 +448,7 @@ func (w *blockingWorkload) Name() string { return "block" }
 func (w *blockingWorkload) Plan(Target, Params) (Plan, error) {
 	clock := vclock.NewVirtual()
 	var p Plan
-	p.Add(sweep.Spec{
+	p.Add("block/1s", sweep.Spec{
 		Name:  "block",
 		Clock: clock,
 		Cases: []bench.Case{&blockCase{clock: clock, entered: w.entered, release: w.release}},

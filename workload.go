@@ -35,11 +35,14 @@ type Params = workload.Params
 // ComputePoint or a MemoryPoint.
 type Point = workload.Point
 
-// PlannedSweep pairs one sweep spec with the Point its winner becomes.
+// PlannedSweep pairs one sweep spec with the Point its winner becomes,
+// under a stable plan-graph ID and an optional SeedFrom chain edge to an
+// earlier same-metric sweep (honoured by WithSweepChaining). Build them
+// with Plan.Add and Plan.Chain.
 type PlannedSweep = workload.Planned
 
-// Plan is a Workload's full contribution to a session run: its sweeps
-// plus warnings for any region that filtered to zero cases.
+// Plan is a Workload's full contribution to a session run: its plan-graph
+// sweeps plus warnings for any region that filtered to zero cases.
 type Plan = workload.Plan
 
 // RegisterWorkload adds a workload to the global registry under its
