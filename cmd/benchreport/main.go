@@ -7,14 +7,18 @@
 //
 // With -baseline it additionally diffs the run against a second stream
 // (the committed BENCH_main.json baseline): each benchmark present in
-// both is compared on ns/op, the delta table goes to stdout, and any
-// regression beyond -threshold is emitted as a GitHub Actions ::warning::
-// annotation. One-iteration CI runs on shared runners are noisy, so the
-// diff annotates rather than fails; the threshold defaults generously.
+// both is compared on ns/op and the delta table goes to stdout. A
+// regression beyond -threshold is a failure — it is annotated as a
+// GitHub Actions ::error:: and the command exits nonzero. One-iteration
+// runs on shared runners are noisy, so the threshold defaults
+// generously; -warn-only is the escape hatch that demotes regressions
+// back to ::warning:: annotations with a zero exit, for branches where
+// a slowdown is expected and the baseline refresh lands separately.
 //
 //	go test -json -bench . -benchtime 1x -run '^$' ./... > BENCH_pr.json
 //	go run ./cmd/benchreport -in BENCH_pr.json -out BENCH_pr.txt
 //	go run ./cmd/benchreport -in BENCH_pr.json -baseline BENCH_main.json -threshold 0.25
+//	go run ./cmd/benchreport -in BENCH_pr.json -baseline BENCH_main.json -warn-only
 package main
 
 import (
@@ -41,7 +45,8 @@ func main() {
 	in := flag.String("in", "", "test2json input file (default stdin)")
 	out := flag.String("out", "", "benchstat-format output file (default stdout)")
 	baseline := flag.String("baseline", "", "baseline test2json stream to diff ns/op against")
-	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression beyond which a ::warning:: annotation is emitted")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression beyond which the diff fails")
+	warnOnly := flag.Bool("warn-only", false, "demote regressions beyond -threshold to warnings instead of failing")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -81,8 +86,13 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("baseline: %w", err))
 		}
-		if err := diff(parseNsPerOp(baseLines), parseNsPerOp(lines), *threshold, os.Stdout); err != nil {
+		regressions, err := diff(parseNsPerOp(baseLines), parseNsPerOp(lines), *threshold, *warnOnly, os.Stdout)
+		if err != nil {
 			fail(err)
+		}
+		if regressions > 0 && !*warnOnly {
+			fail(fmt.Errorf("%d regression(s) beyond %.0f%% — refresh BENCH_main.json if deliberate, or rerun with -warn-only",
+				regressions, *threshold*100))
 		}
 	}
 }
@@ -201,12 +211,13 @@ func parseNsPerOp(lines []string) map[string]float64 {
 	return out
 }
 
-// diff prints the baseline comparison and emits GitHub annotations for
-// regressions beyond the threshold. Benchmarks present on only one side
-// are listed, not treated as regressions.
-func diff(base, cur map[string]float64, threshold float64, w io.Writer) error {
+// diff prints the baseline comparison, emits a GitHub annotation per
+// regression beyond the threshold, and returns how many there were so
+// main can turn them into a failing exit. Benchmarks present on only
+// one side are listed, not treated as regressions.
+func diff(base, cur map[string]float64, threshold float64, warnOnly bool, w io.Writer) (int, error) {
 	if len(base) == 0 {
-		return fmt.Errorf("baseline contains no benchmark results")
+		return 0, fmt.Errorf("baseline contains no benchmark results")
 	}
 	var names []string
 	for name := range cur {
@@ -225,10 +236,15 @@ func diff(base, cur map[string]float64, threshold float64, w io.Writer) error {
 		if delta > threshold {
 			mark = "  <-- regression"
 			regressions++
-			// GitHub Actions annotation: visible on the job summary
-			// without failing the (noisy, 1-iteration) bench job.
-			fmt.Fprintf(w, "::warning title=bench regression::%s slowed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)\n",
-				name, delta*100, b, c, threshold*100)
+			// GitHub Actions annotation on the job summary. ::error::
+			// matches the failing exit; -warn-only keeps the old
+			// advisory ::warning:: behavior.
+			level := "error"
+			if warnOnly {
+				level = "warning"
+			}
+			fmt.Fprintf(w, "::%s title=bench regression::%s slowed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)\n",
+				level, name, delta*100, b, c, threshold*100)
 		}
 		fmt.Fprintf(w, "%-48s %14.0f %14.0f %+7.1f%%%s\n", name, b, c, delta*100, mark)
 	}
@@ -253,5 +269,5 @@ func diff(base, cur map[string]float64, threshold float64, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%d benchmark(s) compared, %d regression(s) beyond %.0f%%\n",
 		len(names), regressions, threshold*100)
-	return nil
+	return regressions, nil
 }

@@ -1,0 +1,90 @@
+// Command rooflint is the project's static-analysis suite: a
+// multichecker over the analyzers in internal/lint that machine-checks
+// the invariants the reproduction's trustworthiness rests on —
+// exhaustive bench.Config handling, deterministic time and randomness
+// on the measurement path, pooled concurrency, context-first blocking
+// APIs, and the monotone incumbent protocol.
+//
+//	go run ./cmd/rooflint ./...         # lint the tree (CI runs this)
+//	go run ./cmd/rooflint -list         # print the registered analyzers
+//	go run ./cmd/rooflint ./internal/...
+//
+// Findings print as file:line:col: analyzer: message and any finding
+// exits nonzero. Sanctioned exceptions are annotated in the source with
+// //rooflint:allow <analyzer> -- <justification>; see README "Static
+// analysis".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rooftune/internal/lint"
+	"rooftune/internal/lint/analysis"
+	"rooftune/internal/lint/configsum"
+	"rooftune/internal/lint/ctxfirst"
+	"rooftune/internal/lint/incumbentwrite"
+	"rooftune/internal/lint/nodeterminism"
+	"rooftune/internal/lint/nogoroutine"
+)
+
+// analyzers is the registry; -list prints it, so the usage text can
+// never drift from what actually runs (mirroring rooftool -workloads).
+var analyzers = []*analysis.Analyzer{
+	configsum.Analyzer,
+	ctxfirst.Analyzer,
+	incumbentwrite.Analyzer,
+	nodeterminism.Analyzer,
+	nogoroutine.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the registered analyzers with their invariants and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: rooflint [-list] [packages]\n\nAnalyzers:\n%s\nPackages default to ./... resolved in the current directory.\n",
+			analyzerTable())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		fmt.Print(analyzerTable())
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rooflint:", err)
+		os.Exit(1)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rooflint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rooflint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// analyzerTable renders one line per registered analyzer: its name and
+// the first sentence of its Doc.
+func analyzerTable() string {
+	var sb strings.Builder
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(&sb, "  %-15s %s\n", a.Name, doc)
+	}
+	return sb.String()
+}

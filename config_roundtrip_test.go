@@ -1,14 +1,13 @@
 package rooftune
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"testing"
 	"time"
 
 	"rooftune/internal/bench"
 	"rooftune/internal/core"
+	"rooftune/internal/lint"
+	"rooftune/internal/lint/configsum"
 	"rooftune/internal/sweep"
 )
 
@@ -151,42 +150,37 @@ func TestConfigVariantUnsupported(t *testing.T) {
 
 type unknownConfig struct{ bench.DGEMMConfig }
 
-// TestConfigVariantsExhaustive parses internal/bench and counts the
-// declared bench.Config variants (the benchConfig marker methods). Every
-// variant must appear in configRoundTrips: adding a fifth variant
-// without teaching the result assembly — and this table — about it
-// fails here instead of erroring in a user's session.
+// TestConfigVariantsExhaustive type-checks internal/bench through the
+// rooflint loader and takes the bench.Config variant census from the
+// configsum analyzer — the same census that enforces exhaustive type
+// switches tree-wide. Every variant must appear in configRoundTrips:
+// adding a fifth variant without teaching the result assembly — and
+// this table — about it fails here instead of erroring in a user's
+// session.
 func TestConfigVariantsExhaustive(t *testing.T) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, "internal/bench", nil, 0)
+	pkgs, err := lint.Load(".", "./internal/bench")
 	if err != nil {
 		t.Fatal(err)
 	}
-	declared := map[string]bool{}
-	for _, pkg := range pkgs {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Name.Name != "benchConfig" || fn.Recv == nil || len(fn.Recv.List) != 1 {
-					continue
-				}
-				if id, ok := fn.Recv.List[0].Type.(*ast.Ident); ok {
-					declared[id.Name] = true
-				}
-			}
-		}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want exactly internal/bench", len(pkgs))
 	}
-	if len(declared) == 0 {
-		t.Fatal("found no benchConfig methods — did the marker method move?")
+	variants, err := configsum.VariantNames(pkgs[0].Types)
+	if err != nil {
+		t.Fatal(err)
 	}
 	covered := map[string]bool{}
 	for _, tc := range configRoundTrips {
 		covered[tc.name] = true
 	}
-	for name := range declared {
+	for _, name := range variants {
 		if !covered[name] {
 			t.Errorf("bench.Config variant %s has no round-trip coverage: add it to configRoundTrips and to assembleResult", name)
 		}
+	}
+	declared := map[string]bool{}
+	for _, name := range variants {
+		declared[name] = true
 	}
 	for name := range covered {
 		if !declared[name] {

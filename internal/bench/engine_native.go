@@ -89,9 +89,7 @@ func (i *nativeDGEMMInstance) run() {
 func (i *nativeDGEMMInstance) Warmup() { i.run() }
 
 func (i *nativeDGEMMInstance) Step() time.Duration {
-	start := time.Now()
-	i.run()
-	return vclock.QuantizeMicro(time.Since(start))
+	return vclock.Time(i.run)
 }
 
 func (i *nativeDGEMMInstance) Work() float64 {
@@ -138,9 +136,7 @@ type nativeTriadInstance struct {
 func (i *nativeTriadInstance) Warmup() { i.v.RunPool(stream.Triad, i.pool) }
 
 func (i *nativeTriadInstance) Step() time.Duration {
-	start := time.Now()
-	i.v.RunPool(stream.Triad, i.pool)
-	return vclock.QuantizeMicro(time.Since(start))
+	return vclock.Time(func() { i.v.RunPool(stream.Triad, i.pool) })
 }
 
 func (i *nativeTriadInstance) Work() float64 { return units.TriadBytes(i.c.elems) }

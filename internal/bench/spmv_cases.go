@@ -127,9 +127,7 @@ func (i *nativeSpMVInstance) run() { spmv.MulChunked(i.y, i.c.a, i.x, i.c.chunk,
 func (i *nativeSpMVInstance) Warmup() { i.run() }
 
 func (i *nativeSpMVInstance) Step() time.Duration {
-	start := time.Now()
-	i.run()
-	return vclock.QuantizeMicro(time.Since(start))
+	return vclock.Time(i.run)
 }
 
 func (i *nativeSpMVInstance) Work() float64 { return i.c.a.Flops() }

@@ -126,9 +126,7 @@ func (i *nativeStencilInstance) run() {
 func (i *nativeStencilInstance) Warmup() { i.run() }
 
 func (i *nativeStencilInstance) Step() time.Duration {
-	start := time.Now()
-	i.run()
-	return vclock.QuantizeMicro(time.Since(start))
+	return vclock.Time(i.run)
 }
 
 func (i *nativeStencilInstance) Work() float64 { return i.src.Flops() }

@@ -223,6 +223,7 @@ func (t *Tuner) runSharded(ctx context.Context, ordered []bench.Case) ([]*bench.
 	inc.Offer(t.seedBound())
 	for w := 0; w < shards; w++ {
 		wg.Add(1)
+		//rooflint:allow nogoroutine -- shard workers under the documented order-insensitive incumbent protocol; joined by wg.Wait before Run returns
 		go func() {
 			defer wg.Done()
 			for {

@@ -1,0 +1,50 @@
+package lint
+
+import "strings"
+
+// The //rooflint:allow annotation marks a sanctioned exception to one or
+// more analyzers:
+//
+//	start := time.Now() //rooflint:allow nodeterminism -- campaign wall time is reporting metadata
+//
+// The annotation names the analyzers it silences (space-separated) and
+// everything after a "--" is the required human justification. It
+// suppresses findings on its own line and on the line directly below,
+// so it works both as a trailing comment and as a standalone comment
+// line above the sanctioned statement. There is deliberately no file- or
+// package-wide form: every exception stays visible at the site it
+// excuses.
+const allowPrefix = "rooflint:allow"
+
+// allowKey identifies one (analyzer, file, line) suppression.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// allowedLines collects the package's annotation grants.
+func allowedLines(pkg *Package) map[allowKey]bool {
+	allowed := map[allowKey]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				text = strings.TrimPrefix(text, allowPrefix)
+				if reason := strings.SplitN(text, "--", 2); len(reason) > 0 {
+					text = reason[0]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Fields(text) {
+					allowed[allowKey{name, pos.Filename, pos.Line}] = true
+					allowed[allowKey{name, pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return allowed
+}

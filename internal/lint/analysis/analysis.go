@@ -1,0 +1,63 @@
+// Package analysis is the analyzer contract for rooflint, the project's
+// static-analysis suite. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic carry the
+// same names and roles — so each checker reads like a stock go/analysis
+// analyzer and porting the suite onto the real framework, once the
+// dependency is available, is a mechanical import swap. The build
+// environment is offline and the module is dependency-free, so the
+// driver (internal/lint) loads and type-checks packages with the
+// standard library instead of go/packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rooflint:allow annotations. It must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, then a
+	// blank line, then detail. cmd/rooflint -list prints the first line.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings via
+	// Pass.Report/Reportf; the result value is unused (kept for
+	// go/analysis shape compatibility).
+	Run func(*Pass) (any, error)
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one type-checked package to an analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	// For packages with in-package test files the trees include them, so
+	// invariants hold over tests too unless an analyzer opts out.
+	Files []*ast.File
+	// Pkg is the type-checked package; Pkg.Path() is the import path the
+	// analyzers' scope rules match against.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

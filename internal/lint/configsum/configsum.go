@@ -1,0 +1,181 @@
+// Package configsum enforces exhaustive handling of the bench.Config
+// sum type.
+//
+// bench.Config is a closed sum (the benchConfig marker method): every
+// type switch over it must either name every declared variant in its
+// case clauses or carry a loud default — one whose body actually does
+// something, like returning an error naming the unexpected type. A
+// missing arm with no default, or a silent empty default, means a new
+// workload variant would slip through result assembly unnoticed; this
+// analyzer turns that into a build failure. It generalizes — and now
+// backs — the root config round-trip test, which used to hand-roll the
+// same census with go/parser.
+package configsum
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rooftune/internal/lint/analysis"
+	"rooftune/internal/lint/scope"
+)
+
+// Analyzer is the configsum invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "configsum",
+	Doc: "type switches over bench.Config must handle every variant or have a loud default\n\n" +
+		"The bench.Config sum is closed; a switch that neither names all variants nor\n" +
+		"fails loudly on unknown ones lets a new workload land mislabelled.",
+	Run: run,
+}
+
+// benchPackage is the scope suffix identifying the package that
+// declares the Config sum (fixtures mirror the suffix).
+const benchPackage = "internal/bench"
+
+// sumInterface is the sum type's name within that package.
+const sumInterface = "Config"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			iface, ifacePkg := configInterface(pass, sw)
+			if iface == nil {
+				return true
+			}
+			variants := Variants(ifacePkg, iface)
+			if len(variants) == 0 {
+				return true
+			}
+			checkSwitch(pass, sw, variants)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// configInterface returns the bench.Config interface and its declaring
+// package when sw switches over it, or nil otherwise.
+func configInterface(pass *analysis.Pass, sw *ast.TypeSwitchStmt) (*types.Interface, *types.Package) {
+	var expr ast.Expr
+	switch assign := sw.Assign.(type) {
+	case *ast.ExprStmt: // switch x.(type)
+		expr = assign.X.(*ast.TypeAssertExpr).X
+	case *ast.AssignStmt: // switch v := x.(type)
+		expr = assign.Rhs[0].(*ast.TypeAssertExpr).X
+	default:
+		return nil, nil
+	}
+	t := pass.TypesInfo.Types[expr].Type
+	if t == nil {
+		return nil, nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	obj := named.Obj()
+	if obj.Name() != sumInterface || obj.Pkg() == nil || !scope.Match(obj.Pkg().Path(), benchPackage) {
+		return nil, nil
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok {
+		return nil, nil
+	}
+	return iface, obj.Pkg()
+}
+
+// checkSwitch verifies one switch over the sum.
+func checkSwitch(pass *analysis.Pass, sw *ast.TypeSwitchStmt, variants []string) {
+	handled := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, texpr := range cc.List {
+			t := pass.TypesInfo.Types[texpr].Type
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				handled[named.Obj().Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, v := range variants {
+		if !handled[v] {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	switch {
+	case defaultClause == nil:
+		pass.Reportf(sw.Switch,
+			"type switch over bench.Config misses variant(s) %s and has no default; handle them or fail loudly on unknown configs",
+			strings.Join(missing, ", "))
+	case len(defaultClause.Body) == 0:
+		pass.Reportf(defaultClause.Case,
+			"type switch over bench.Config misses variant(s) %s behind a silent default; an unknown config must fail loudly",
+			strings.Join(missing, ", "))
+	}
+}
+
+// Variants returns the sorted names of the sum's concrete variants: the
+// named non-interface types in pkg that implement iface. The root
+// config round-trip test consumes this census in place of its former
+// go/parser walk.
+func Variants(pkg *types.Package, iface *types.Interface) []string {
+	var names []string
+	s := pkg.Scope()
+	for _, name := range s.Names() {
+		obj, ok := s.Lookup(name).(*types.TypeName)
+		if !ok || obj.IsAlias() {
+			continue
+		}
+		t := obj.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VariantNames loads the sum interface from a type-checked bench
+// package and returns its variant census. It errors when the interface
+// is gone — the marker method may have moved, and the caller's
+// exhaustiveness check would otherwise silently pass on nothing.
+func VariantNames(pkg *types.Package) ([]string, error) {
+	obj, ok := pkg.Scope().Lookup(sumInterface).(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("configsum: %s declares no %s interface — did the sum move?", pkg.Path(), sumInterface)
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil, fmt.Errorf("configsum: %s.%s is not an interface", pkg.Path(), sumInterface)
+	}
+	variants := Variants(pkg, iface)
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("configsum: %s.%s has no variants — did the marker method move?", pkg.Path(), sumInterface)
+	}
+	return variants, nil
+}

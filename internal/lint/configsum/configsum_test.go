@@ -1,0 +1,12 @@
+package configsum_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/configsum"
+	"rooftune/internal/lint/linttest"
+)
+
+func TestConfigSum(t *testing.T) {
+	linttest.Run(t, configsum.Analyzer, "./testdata/src/...")
+}

@@ -1,0 +1,72 @@
+// Package a exercises the configsum analyzer: switches over the
+// fixture bench.Config sum in every shape the invariant distinguishes.
+package a
+
+import (
+	"fmt"
+
+	"rooftune/internal/lint/configsum/testdata/src/a/internal/bench"
+)
+
+// exhaustive names every variant: no finding.
+func exhaustive(c bench.Config) string {
+	switch c.(type) {
+	case bench.DGEMMConfig:
+		return "dgemm"
+	case bench.TriadConfig:
+		return "triad"
+	case bench.SpMVConfig:
+		return "spmv"
+	}
+	return ""
+}
+
+// loudDefault misses TriadConfig but fails loudly on anything unknown:
+// no finding.
+func loudDefault(c bench.Config) (string, error) {
+	switch cfg := c.(type) {
+	case bench.DGEMMConfig:
+		return fmt.Sprint(cfg.N), nil
+	case bench.SpMVConfig:
+		return fmt.Sprint(cfg.N), nil
+	default:
+		return "", fmt.Errorf("unsupported config %T", c)
+	}
+}
+
+// missingNoDefault misses two variants with nowhere for them to go.
+func missingNoDefault(c bench.Config) string {
+	switch c.(type) { // want `misses variant\(s\) SpMVConfig, TriadConfig and has no default`
+	case bench.DGEMMConfig:
+		return "dgemm"
+	}
+	return ""
+}
+
+// silentDefault hides the missing variant behind an empty default.
+func silentDefault(c bench.Config) string {
+	switch c.(type) {
+	case bench.DGEMMConfig:
+		return "dgemm"
+	case bench.TriadConfig:
+		return "triad"
+	default: // want `misses variant\(s\) SpMVConfig behind a silent default`
+	}
+	return ""
+}
+
+// otherSum is a different interface entirely; switches over it are out
+// of the analyzer's scope.
+type otherSum interface{ other() }
+
+type otherImpl struct{}
+
+func (otherImpl) other() {}
+
+func unrelatedSwitch(o otherSum) string {
+	switch o.(type) {
+	case otherImpl:
+		return "impl"
+	}
+	return ""
+}

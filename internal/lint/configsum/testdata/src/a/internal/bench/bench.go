@@ -1,0 +1,24 @@
+// Package bench is a fixture standing in for rooftune/internal/bench:
+// its import path ends in internal/bench, so the configsum analyzer
+// treats Config as the closed sum.
+package bench
+
+// Config mirrors the real sum type's marker-method shape.
+type Config interface {
+	benchConfig()
+}
+
+type DGEMMConfig struct{ N, M, K int }
+
+func (DGEMMConfig) benchConfig() {}
+
+type TriadConfig struct{ Elements int }
+
+func (TriadConfig) benchConfig() {}
+
+type SpMVConfig struct{ N int }
+
+func (SpMVConfig) benchConfig() {}
+
+// Unrelated does not implement Config and must not count as a variant.
+type Unrelated struct{ X int }

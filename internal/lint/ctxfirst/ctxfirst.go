@@ -1,0 +1,135 @@
+// Package ctxfirst enforces the cancellation contract of the engine,
+// tuner and sweep packages.
+//
+// Everything on the measurement path that can block — searches, sweep
+// execution, evaluation — is cancellable between kernel executions, and
+// the way that contract stays legible is positional: an exported
+// function that takes a context.Context takes it first, and an exported
+// function that blocks (channel operations, select, WaitGroup joins)
+// must take one. A blocking exported API without a context either
+// re-introduces unjoinable waits or hides a cancellation gap.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rooftune/internal/lint/analysis"
+	"rooftune/internal/lint/scope"
+)
+
+// Analyzer is the ctxfirst invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported blocking functions in engine/tuner/sweep packages take context.Context first\n\n" +
+		"A context parameter anywhere but first position, or an exported function\n" +
+		"that blocks without one, breaks the cancellation contract.",
+	Run: run,
+}
+
+// contractPackages is the scope: the packages forming the cancellable
+// measurement path.
+var contractPackages = []string{
+	"internal/core",
+	"internal/sweep",
+	"internal/bench",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.Match(pass.Pkg.Path(), contractPackages...) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Test functions are exported by convention and synchronize on
+		// WaitGroups routinely; the contract is about the package's API.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ctxIndex := -1
+	index := 0
+	for _, field := range fn.Type.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContext(pass, field.Type) && ctxIndex < 0 {
+			ctxIndex = index
+		}
+		index += width
+	}
+	switch {
+	case ctxIndex > 0:
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s takes context.Context at parameter %d; the cancellation contract puts it first",
+			fn.Name.Name, ctxIndex)
+	case ctxIndex < 0:
+		if op := blockingOp(pass, fn.Body); op != "" {
+			pass.Reportf(fn.Name.Pos(),
+				"exported %s blocks (%s) but takes no context.Context; blocking APIs on the measurement path must be cancellable",
+				fn.Name.Name, op)
+		}
+	}
+}
+
+// isContext reports whether a parameter type expression is
+// context.Context.
+func isContext(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.Types[expr].Type
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// blockingOp scans a function body — nested function literals included,
+// since they block their caller when invoked synchronously — for the
+// first operation that can wait indefinitely: select, channel send or
+// receive, ranging over a channel, or joining a sync.WaitGroup.
+func blockingOp(pass *analysis.Pass, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = "select"
+		case *ast.SendStmt:
+			found = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = "channel receive"
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = "range over channel"
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "sync" {
+					found = "sync.WaitGroup.Wait"
+				}
+			}
+		}
+		return found == ""
+	})
+	return found
+}

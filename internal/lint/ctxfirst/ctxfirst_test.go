@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/ctxfirst"
+	"rooftune/internal/lint/linttest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	linttest.Run(t, ctxfirst.Analyzer, "./testdata/src/...")
+}

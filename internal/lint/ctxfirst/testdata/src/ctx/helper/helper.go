@@ -1,0 +1,7 @@
+// Package helper is outside the ctxfirst scope; exported blocking
+// functions here are not findings.
+package helper
+
+func Pump(ch chan int) int {
+	return <-ch
+}

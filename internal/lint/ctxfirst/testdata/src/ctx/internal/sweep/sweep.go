@@ -1,0 +1,51 @@
+// Package sweep is a fixture standing in for rooftune/internal/sweep:
+// its import path suffix puts it inside the ctxfirst scope.
+package sweep
+
+import (
+	"context"
+	"sync"
+)
+
+// Run honors the contract: it blocks and takes the context first.
+func Run(ctx context.Context, work chan int) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-work:
+		return nil
+	}
+}
+
+// Misplaced takes a context, but not first.
+func Misplaced(n int, ctx context.Context) error { // want `exported Misplaced takes context.Context at parameter 1; the cancellation contract puts it first`
+	return ctx.Err()
+}
+
+// Drain blocks on a channel receive with no way to cancel it.
+func Drain(ch chan int) int { // want `exported Drain blocks \(channel receive\) but takes no context.Context`
+	return <-ch
+}
+
+// Join waits on a WaitGroup with no way to cancel it.
+func Join(wg *sync.WaitGroup) { // want `exported Join blocks \(sync.WaitGroup.Wait\) but takes no context.Context`
+	wg.Wait()
+}
+
+// Size neither blocks nor takes a context: nothing to enforce.
+func Size(n int) int {
+	return n * 2
+}
+
+// drain is unexported; the contract covers the package's API only.
+func drain(ch chan int) int {
+	return <-ch
+}
+
+// Flush blocks, but its wait is bounded by construction and the
+// annotation on the preceding line documents the exception.
+//
+//rooflint:allow ctxfirst -- fixture: the send is buffered and never blocks
+func Flush(ch chan int) {
+	ch <- 0
+}

@@ -1,0 +1,12 @@
+package incumbentwrite_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/incumbentwrite"
+	"rooftune/internal/lint/linttest"
+)
+
+func TestIncumbentWrite(t *testing.T) {
+	linttest.Run(t, incumbentwrite.Analyzer, "./testdata/src/...")
+}

@@ -1,0 +1,45 @@
+// Package bench is a fixture standing in for rooftune/internal/bench:
+// it declares an AtomicIncumbent with the real type's CAS-max shape.
+package bench
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicIncumbent mirrors the monotone incumbent bound.
+type AtomicIncumbent struct {
+	bits atomic.Uint64
+}
+
+// NewAtomicIncumbent is the sanctioned constructor; its store is the
+// one non-method write allowed to touch the state.
+func NewAtomicIncumbent(initial float64) *AtomicIncumbent {
+	a := &AtomicIncumbent{}
+	a.bits.Store(math.Float64bits(initial))
+	return a
+}
+
+// Bound reads through the type's own method: sanctioned.
+func (a *AtomicIncumbent) Bound() float64 {
+	return math.Float64frombits(a.bits.Load())
+}
+
+// Offer is the CAS-max protocol itself: sanctioned.
+func (a *AtomicIncumbent) Offer(v float64) bool {
+	for {
+		old := a.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return false
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}
+
+// Rogue writes the state from outside the type's methods; a plain
+// Store can lower the bound.
+func Rogue(a *AtomicIncumbent) {
+	a.bits.Store(0) // want `direct access to AtomicIncumbent.bits outside the type's own methods: mutate the bound only through Offer`
+}

@@ -1,0 +1,39 @@
+// Package use exercises the incumbentwrite analyzer from a consumer's
+// side: incumbents are shared by pointer and mutated only via Offer.
+package use
+
+import (
+	"rooftune/internal/lint/incumbentwrite/testdata/src/inc/internal/bench"
+)
+
+type holder struct {
+	inc bench.AtomicIncumbent
+}
+
+// Probe reads and offers through the protocol: no findings.
+func Probe(inc *bench.AtomicIncumbent, v float64) float64 {
+	inc.Offer(v)
+	return inc.Bound()
+}
+
+// Snapshot copies the value, forking the bound.
+func Snapshot(inc *bench.AtomicIncumbent) bench.AtomicIncumbent {
+	return *inc // want `dereference of \*AtomicIncumbent copies or overwrites the shared bound`
+}
+
+// Clobber overwrites the shared value, resetting the bound mid-search.
+func Clobber(inc *bench.AtomicIncumbent) {
+	*inc = bench.AtomicIncumbent{} // want `dereference of \*AtomicIncumbent copies or overwrites the shared bound`
+}
+
+// Reset overwrites an embedded incumbent field wholesale.
+func Reset(h *holder) {
+	h.inc = bench.AtomicIncumbent{} // want `assignment overwrites an AtomicIncumbent value: the bound must only rise through Offer`
+}
+
+// AllowedSnapshot documents an out-of-band copy; the annotation on the
+// preceding line suppresses the finding.
+func AllowedSnapshot(inc *bench.AtomicIncumbent) bench.AtomicIncumbent {
+	//rooflint:allow incumbentwrite -- fixture: snapshot for offline reporting after the search has joined
+	return *inc
+}

@@ -1,0 +1,145 @@
+// Package linttest runs a rooflint analyzer over fixture packages and
+// checks its findings against // want comments, mirroring the contract
+// of golang.org/x/tools/go/analysis/analysistest: a fixture line that
+// should be reported carries a trailing comment with one quoted regular
+// expression per expected finding, and any finding on a line without a
+// matching want is a test failure — so every fixture encodes positive
+// and negative cases in one tree.
+//
+//	_ = time.Now() // want `time\.Now is forbidden`
+//
+// Fixtures live under the analyzer package's testdata/src directory and
+// are real, compilable packages: the loader type-checks them exactly
+// like the production tree, //rooflint:allow annotations included.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rooftune/internal/lint"
+	"rooftune/internal/lint/analysis"
+)
+
+// want is one expectation: a line that must produce findings matching
+// the given regular expressions.
+type want struct {
+	pos      token.Position
+	patterns []*regexp.Regexp
+}
+
+// Run loads the fixture packages matched by patterns (relative to the
+// calling test's directory, e.g. "./testdata/src/configsum/...") and
+// asserts the analyzer's findings equal the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("linttest: no fixture packages matched %v", patterns)
+	}
+	diags, err := lint.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := map[string][]want{} // file:line -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectWants(t, pkg.Fset, f, wants)
+		}
+	}
+
+	// Every finding must consume one matching expectation on its line...
+	for _, d := range diags {
+		key := lineKey(d.Pos)
+		matched := false
+		ws := wants[key]
+		for i, w := range ws {
+			for j, re := range w.patterns {
+				if re.MatchString(d.Message) {
+					w.patterns = append(w.patterns[:j], w.patterns[j+1:]...)
+					ws[i] = w
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", d.Pos, d.Message)
+		}
+	}
+	// ...and every expectation must have been consumed.
+	for _, ws := range wants {
+		for _, w := range ws {
+			for _, re := range w.patterns {
+				t.Errorf("%s: expected finding matching %q, got none", w.pos, re)
+			}
+		}
+	}
+}
+
+func lineKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// collectWants parses a file's // want comments. The comment's own line
+// is the expectation line, so trailing comments annotate the statement
+// they share a line with.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[string][]want) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			w := want{pos: pos}
+			for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+				lit, remainder, err := cutQuoted(rest)
+				if err != nil {
+					t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					t.Fatalf("%s: want pattern %q: %v", pos, lit, err)
+				}
+				w.patterns = append(w.patterns, re)
+				rest = remainder
+			}
+			if len(w.patterns) == 0 {
+				t.Fatalf("%s: want comment carries no quoted pattern", pos)
+			}
+			key := lineKey(pos)
+			wants[key] = append(wants[key], w)
+		}
+	}
+}
+
+// cutQuoted splits one leading Go string literal (double- or back-
+// quoted) off s and returns its value and the remainder.
+func cutQuoted(s string) (lit, rest string, err error) {
+	quote := s[0]
+	if quote != '"' && quote != '`' {
+		return "", "", fmt.Errorf("expected quoted pattern at %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+			lit, err := strconv.Unquote(s[:i+1])
+			return lit, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated pattern at %q", s)
+}

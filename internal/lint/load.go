@@ -1,0 +1,226 @@
+// Package lint is the driver for rooflint, the project's static-analysis
+// suite: it loads and type-checks packages with the standard library
+// toolchain (the module is dependency-free and builds offline, so
+// golang.org/x/tools/go/packages is not available), runs the analyzers
+// in internal/lint/* over them, and applies the //rooflint:allow
+// annotation protocol for sanctioned exceptions.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. When
+// the package has in-package test files, Files includes them (the
+// package is checked as its go-test variant), so the analyzers see the
+// same code the test binary compiles.
+type Package struct {
+	// Path is the package's import path ("rooftune/internal/core");
+	// external test packages carry the _test suffix.
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset is shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types and Info are the type-checker's results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Name       string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (as the go tool understands them, e.g. "./...")
+// relative to dir and returns every matched package type-checked, with
+// in-package test files merged in. Dependencies — including the standard
+// library — are imported from compiler export data produced by
+// `go list -export`, so loading needs no network and no GOPATH source
+// layout, only the toolchain that built the module.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Index every listed entry — bracketed test variants included — by
+	// its listed import path: that is the key space ImportMap resolves
+	// into and export data is filed under.
+	index := make(map[string]*listPackage, len(metas))
+	for _, m := range metas {
+		index[m.ImportPath] = m
+	}
+
+	// Pick the analysis targets: explicitly matched, non-stdlib, not the
+	// synthetic test-main. A package's in-package test variant
+	// ("p [p.test]") supersedes the plain entry so test files are
+	// analyzed too; external test packages ("p_test [p.test]") are
+	// targets of their own.
+	targets := map[string]*listPackage{}
+	for _, m := range metas {
+		if m.DepOnly || m.Standard || strings.HasSuffix(m.ImportPath, ".test") {
+			continue
+		}
+		path := strippedPath(m.ImportPath)
+		if prev, ok := targets[path]; !ok || (prev.ForTest == "" && m.ForTest != "") {
+			targets[path] = m
+		}
+	}
+	paths := make([]string, 0, len(targets))
+	for path := range targets {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	pkgs := make([]*Package, 0, len(targets))
+	for _, path := range paths {
+		pkg, err := check(fset, path, targets[path], index)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goList shells out to `go list -test -deps -export` and decodes the
+// JSON stream. A package that fails to build fails the load: linting a
+// tree that does not compile would silently skip the broken invariants.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{
+		"list", "-test", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,ForTest,Name,GoFiles,ImportMap,Error",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		m := &listPackage{}
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// strippedPath removes the test-variant bracket from a listed import
+// path: "p [p.test]" -> "p", "p_test [p.test]" -> "p_test".
+func strippedPath(listed string) string {
+	if i := strings.Index(listed, " ["); i >= 0 {
+		return listed[:i]
+	}
+	return listed
+}
+
+// check parses and type-checks one target package against export data.
+func check(fset *token.FileSet, path string, meta *listPackage, index map[string]*listPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: newExportImporter(fset, meta, index),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: meta.Dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// exportImporter resolves imports during one package's type check: the
+// importing package's ImportMap first (so a test variant's dependencies
+// land on their in-test builds), then the listed path's export data. A
+// fresh gc importer per target keeps its internal cache from conflating
+// test variants across different test roots.
+type exportImporter struct {
+	importMap map[string]string
+	gc        types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, meta *listPackage, index map[string]*listPackage) *exportImporter {
+	imp := &exportImporter{importMap: meta.ImportMap}
+	lookup := func(path string) (io.ReadCloser, error) {
+		resolved := path
+		if mapped, ok := imp.importMap[path]; ok {
+			resolved = mapped
+		}
+		dep, ok := index[resolved]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", resolved)
+		}
+		return os.Open(dep.Export)
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return imp
+}
+
+// Import implements types.Importer.
+func (imp *exportImporter) Import(path string) (*types.Package, error) {
+	return imp.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (imp *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return imp.gc.ImportFrom(path, dir, mode)
+}

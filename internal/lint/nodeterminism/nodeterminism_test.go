@@ -1,0 +1,12 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/linttest"
+	"rooftune/internal/lint/nodeterminism"
+)
+
+func TestNoDeterminism(t *testing.T) {
+	linttest.Run(t, nodeterminism.Analyzer, "./testdata/src/...")
+}

@@ -1,0 +1,9 @@
+// Package clockutil is outside the deterministic scope; raw clock
+// reads here are not findings.
+package clockutil
+
+import "time"
+
+func Wall() time.Time {
+	return time.Now()
+}

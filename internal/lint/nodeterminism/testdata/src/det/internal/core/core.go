@@ -1,0 +1,38 @@
+// Package core is a fixture standing in for rooftune/internal/core:
+// its import path suffix puts it inside the nodeterminism scope.
+package core
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package .*: use the seeded, stream-splittable internal/xrand instead`
+	"time"
+)
+
+// Budget uses only the deterministic parts of package time — types and
+// constants are fine, it is the clock reads that are banned.
+func Budget(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}
+
+// Stamp reads the wall clock twice.
+func Stamp() time.Duration {
+	start := time.Now()      // want `time.Now in deterministic package .*: draw time from internal/vclock`
+	return time.Since(start) // want `time.Since in deterministic package .*: draw time from internal/vclock`
+}
+
+// Later calls the time.Time method After, not the timer time.After:
+// method calls on values are deterministic and must not be flagged.
+func Later(t, u time.Time) bool {
+	return t.After(u)
+}
+
+// Draw reaches the global generator; the import report above covers it.
+func Draw() int {
+	return rand.Int()
+}
+
+// Annotated documents an out-of-band wall-clock read; the allow
+// annotation on the preceding line suppresses the finding.
+func Annotated() time.Time {
+	//rooflint:allow nodeterminism -- fixture: reporting metadata, never a measured result
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+package core
+
+import (
+	randv2 "math/rand/v2" // want `import of math/rand/v2 in deterministic package .*: use the seeded, stream-splittable internal/xrand instead`
+)
+
+// DrawV2 shows the v2 generator is banned the same as the v1 one.
+func DrawV2() int {
+	return randv2.IntN(10)
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/linttest"
+	"rooftune/internal/lint/nogoroutine"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	linttest.Run(t, nogoroutine.Analyzer, "./testdata/src/...")
+}

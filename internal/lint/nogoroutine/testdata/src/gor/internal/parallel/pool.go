@@ -1,0 +1,8 @@
+// Package parallel is a fixture standing in for rooftune/internal/parallel,
+// the pooled execution path itself: the one package that may spawn
+// goroutines freely.
+package parallel
+
+func Launch(f func()) {
+	go f()
+}

@@ -1,0 +1,27 @@
+// Package worker is a fixture outside the exempt set; raw go
+// statements here are findings unless annotated.
+package worker
+
+import "sync"
+
+func task() {}
+
+// Spawn launches a raw goroutine with no documented join.
+func Spawn() {
+	go task() // want `raw go statement in .*: route concurrency through internal/parallel`
+}
+
+// FanOut documents its join point in-line; the allow annotation on the
+// preceding line suppresses the finding.
+func FanOut(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		//rooflint:allow nogoroutine -- fixture: joined by wg.Wait below
+		go func() {
+			defer wg.Done()
+			task()
+		}()
+	}
+	wg.Wait()
+}

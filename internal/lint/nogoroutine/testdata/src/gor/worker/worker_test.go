@@ -1,0 +1,10 @@
+package worker
+
+// Test files are exempt: tests routinely spawn goroutines to exercise
+// concurrency, so this raw go statement is not a finding.
+func spawnInTest(done chan struct{}) {
+	go func() {
+		task()
+		close(done)
+	}()
+}

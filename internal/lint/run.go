@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"rooftune/internal/lint/analysis"
+)
+
+// Diag is one finding, positioned and attributed to its analyzer.
+type Diag struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings in deterministic order (position, then analyzer name).
+// Findings on a line sanctioned by a //rooflint:allow annotation are
+// suppressed; see allowedLines.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	var diags []Diag
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allowed[allowKey{a.Name, pos.Filename, pos.Line}] {
+					return
+				}
+				diags = append(diags, Diag{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

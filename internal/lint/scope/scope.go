@@ -1,0 +1,24 @@
+// Package scope decides which packages a rooflint analyzer applies to.
+//
+// Analyzers name their scope as module-relative package suffixes
+// ("internal/core", "internal/bench") or the root package ("rooftune").
+// Matching is by path suffix on segment boundaries, which serves two
+// masters at once: the real packages match ("rooftune/internal/core"
+// ends in "/internal/core"), and analysistest fixture packages stand in
+// for them by mirroring the suffix under their testdata tree
+// ("rooftune/internal/lint/configsum/testdata/src/a/internal/bench"
+// matches "internal/bench"), so scope rules are exercised by fixtures
+// without any test-only configuration hooks in the analyzers.
+package scope
+
+import "strings"
+
+// Match reports whether path is, or stands in for, one of entries.
+func Match(path string, entries ...string) bool {
+	for _, entry := range entries {
+		if path == entry || strings.HasSuffix(path, "/"+entry) {
+			return true
+		}
+	}
+	return false
+}

@@ -199,6 +199,7 @@ func (r *Runner) RunPlan(ctx context.Context, nodes []Node) ([]Outcome, error) {
 			ready = ready[1:]
 			started[i] = true
 			running++
+			//rooflint:allow nogoroutine -- plan-graph dispatcher; every node goroutine reports on done and is drained by the completion loop below
 			go func(i int) {
 				n := nodes[i]
 				out, err := r.runOne(ctx, n.Spec, r.shardsFor(n.Spec, width), seeds[i])

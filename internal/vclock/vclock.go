@@ -90,3 +90,15 @@ func (s *Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }
 func QuantizeMicro(d time.Duration) time.Duration {
 	return d.Truncate(time.Microsecond)
 }
+
+// Time runs f and returns its wall-clock duration, quantised like the
+// paper's gettimeofday-before/after pattern. It is the one sanctioned
+// wall-clock measurement primitive: native kernel Steps call it instead
+// of touching time.Now directly, so the rooflint nodeterminism analyzer
+// can forbid raw wall-clock reads everywhere on the measurement path
+// while real kernels keep measuring real time here.
+func Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return QuantizeMicro(time.Since(start))
+}

@@ -725,6 +725,7 @@ func (s *Session) startEvents() (emit func(Event), stop func()) {
 	}
 	ch := make(chan Event, eventBuffer)
 	done := make(chan struct{})
+	//rooflint:allow nogoroutine -- the documented per-Run event drainer; stop closes ch and joins it before Run returns
 	go func() {
 		defer close(done)
 		for ev := range ch {

@@ -537,16 +537,19 @@ func TestRunCancellation(t *testing.T) {
 		t.Fatalf("canceled run produced a partial result: %+v", res)
 	}
 	// No sweep goroutine may outlive Run. Allow the runtime a moment to
-	// retire finished goroutines before comparing.
+	// retire finished goroutines before comparing. Polling the real clock
+	// here is out-of-band test synchronization, not measurement.
+	//rooflint:allow nodeterminism -- real deadline for a real-goroutine leak check
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		if runtime.NumGoroutine() <= before {
 			break
 		}
+		//rooflint:allow nodeterminism -- same leak-check deadline poll
 		if time.Now().After(deadline) {
 			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond) //rooflint:allow nodeterminism -- back-off between leak-check polls
 	}
 }
 
