@@ -1,0 +1,100 @@
+// Command roofserved is the rooftune tuning daemon: a long-lived HTTP
+// service that runs simulated autotuning campaigns on demand and
+// memoizes every completed Result in a content-addressed cache. A
+// repeated campaign — same system, workloads, space, seed and budget —
+// is answered from the cache byte-for-byte, with zero kernel
+// executions; concurrent identical submissions collapse onto a single
+// run; concurrent distinct campaigns divide the host under a shared
+// parallelism budget.
+//
+// Endpoints (see the README "Serving" section for the campaign schema):
+//
+//	POST   /v1/tune             submit a campaign and wait for the Result
+//	POST   /v1/jobs             submit asynchronously, poll the returned id
+//	GET    /v1/jobs/{id}        job status (+ Result when done)
+//	GET    /v1/jobs/{id}/events live progress as Server-Sent Events
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            cache / budget / job counters
+//
+// Examples:
+//
+//	roofserved                          # ephemeral port, in-memory cache
+//	roofserved -addr :8080 -cache-dir /var/cache/roofserved
+//	roofserved -parallelism 4           # cap the host share tuning may use
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rooftune/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity in entries (0 = default 256)")
+		cacheDir     = flag.String("cache-dir", "", "directory persisting cache entries across restarts (empty = in-memory only)")
+		parallelism  = flag.Int("parallelism", 0, "host-parallelism capacity divided among concurrent runs (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	// base bounds every tuning run the daemon starts: cancelling it on
+	// shutdown aborts in-flight sweeps between kernel executions.
+	base, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
+
+	srv, err := serve.New(base, serve.Config{
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		Parallelism:  *parallelism,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roofserved:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roofserved:", err)
+		os.Exit(1)
+	}
+	// The resolved address goes to stdout on its own line so scripts can
+	// capture the ephemeral port (the serve-smoke CI job does).
+	fmt.Printf("roofserved listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	//rooflint:allow nogoroutine -- http.Serve lives for the process; joined via errc after Shutdown below
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, let handlers drain briefly,
+		// then abort any still-running sweeps.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			cancelRuns()
+			_ = httpSrv.Close()
+		}
+		cancelRuns()
+		<-errc
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "roofserved:", err)
+			os.Exit(1)
+		}
+	}
+}

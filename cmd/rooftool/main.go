@@ -11,6 +11,7 @@
 //	rooftool -workloads dgemm                 # compute roof only
 //	rooftool -workloads spmv,stencil          # §VII kernels between TRIAD and DGEMM
 //	rooftool -triad-levels L1,L2,L3,DRAM -chain  # cache-aware roofline, chained sweeps
+//	rooftool -remote http://localhost:8080    # run the campaign on a roofserved daemon
 //	rooftool -list                            # list known systems
 package main
 
@@ -24,6 +25,7 @@ import (
 
 	"rooftune"
 	"rooftune/internal/hw"
+	"rooftune/internal/serve"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 			"comma-separated workloads to run (default: dgemm,triad; registered: %s)",
 			strings.Join(rooftune.WorkloadNames(), ",")))
 		progress = flag.Bool("progress", false, "stream live tuning progress to stderr")
+		remote   = flag.String("remote", "", "roofserved daemon URL: run the campaign there instead of in-process (simulated targets only)")
 		list     = flag.Bool("list", false, "list known systems and workloads, then exit")
 	)
 	flag.Parse()
@@ -53,48 +56,67 @@ func main() {
 		return
 	}
 
-	opts := []rooftune.Option{
-		rooftune.WithSeed(*seed), rooftune.WithThreads(*threads),
-		rooftune.WithCaseShards(*shards), rooftune.WithSweepChaining(*chain),
-	}
-	if *levels != "" {
-		var names []string
-		for _, name := range strings.Split(*levels, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				names = append(names, name)
-			}
-		}
-		opts = append(opts, rooftune.WithTriadLevels(names...))
-	}
-	if *native {
-		opts = append(opts, rooftune.WithNative())
-	} else {
-		opts = append(opts, rooftune.WithSystem(*system))
-	}
-	if *workloads != "" {
-		var names []string
-		for _, name := range strings.Split(*workloads, ",") {
-			if name = strings.TrimSpace(name); name != "" {
-				names = append(names, name)
-			}
-		}
-		opts = append(opts, rooftune.WithWorkloads(names...))
-	}
-	if *progress {
-		opts = append(opts, rooftune.WithProgress(printEvent))
-	}
-
-	sess, err := rooftune.New(opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rooftool:", err)
-		os.Exit(1)
-	}
+	levelNames := splitList(*levels)
+	workloadNames := splitList(*workloads)
 
 	// Ctrl-C cancels the run between kernel executions instead of killing
 	// the process mid-measurement.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := sess.Run(ctx)
+
+	var res *rooftune.Result
+	var err error
+	if *remote != "" {
+		// The daemon serves deterministic simulated campaigns only, with
+		// the case-shard count pinned to one — flags that contradict that
+		// contract fail loudly instead of silently meaning something else.
+		if *native {
+			fmt.Fprintln(os.Stderr, "rooftool: -native cannot be combined with -remote: the daemon serves simulated campaigns only")
+			os.Exit(2)
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "rooftool: -case-shards > 1 cannot be combined with -remote: the daemon pins case shards to 1 for cacheable results")
+			os.Exit(2)
+		}
+		if *threads != 0 {
+			fmt.Fprintln(os.Stderr, "rooftool: -threads is native-only and cannot be combined with -remote")
+			os.Exit(2)
+		}
+		res, err = runRemote(ctx, *remote, serve.Campaign{
+			System:      *system,
+			Workloads:   workloadNames,
+			Seed:        *seed,
+			TriadLevels: levelNames,
+			Chain:       *chain,
+		}, *progress)
+	} else {
+		opts := []rooftune.Option{
+			rooftune.WithSeed(*seed), rooftune.WithThreads(*threads),
+			rooftune.WithCaseShards(*shards), rooftune.WithSweepChaining(*chain),
+		}
+		if len(levelNames) > 0 {
+			opts = append(opts, rooftune.WithTriadLevels(levelNames...))
+		}
+		if *native {
+			opts = append(opts, rooftune.WithNative())
+		} else {
+			opts = append(opts, rooftune.WithSystem(*system))
+		}
+		if len(workloadNames) > 0 {
+			opts = append(opts, rooftune.WithWorkloads(workloadNames...))
+		}
+		if *progress {
+			opts = append(opts, rooftune.WithProgress(printEvent))
+		}
+
+		var sess *rooftune.Session
+		sess, err = rooftune.New(opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rooftool:", err)
+			os.Exit(1)
+		}
+		res, err = sess.Run(ctx)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rooftool:", err)
 		os.Exit(1)
@@ -140,6 +162,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", *out, len(rendered))
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // printEvent renders one live progress event as a stderr line.

@@ -1,0 +1,187 @@
+// Serve client: drive the roofserved HTTP API end to end against an
+// in-process daemon. The example starts a serve.Server on an ephemeral
+// port, submits a small simulated campaign as an asynchronous job,
+// tails its live progress over Server-Sent Events, decodes the Result
+// from the rooftune/result/v1 wire schema, and then submits the same
+// campaign again to show the content-addressed cache answering from
+// memory — byte-for-byte the first response, with zero kernel
+// executions.
+//
+// Against a real daemon the client half is identical; only the base URL
+// changes:
+//
+//	roofserved -addr :8080 &
+//	go run ./examples/serve-client        # in-process daemon
+//	rooftool -remote http://localhost:8080 -progress
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"rooftune"
+	"rooftune/internal/serve"
+)
+
+func main() {
+	// Start the daemon in-process: the same serve.Server roofserved
+	// wraps, on an ephemeral port. Its base context bounds every run it
+	// starts.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := serve.New(ctx, serve.Config{CacheEntries: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	//rooflint:allow nogoroutine -- example daemon; lives until process exit
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("daemon:", base)
+
+	// A campaign is plain JSON: the simulated system to characterise
+	// plus optional overrides. This one keeps the DGEMM space tiny so
+	// the example runs in moments.
+	campaign := serve.Campaign{
+		System:    "Gold 6148",
+		Workloads: []string{"dgemm", "triad"},
+		Seed:      42,
+		Space: []serve.DimsSpec{
+			{N: 256, M: 256, K: 256},
+			{N: 512, M: 512, K: 512},
+			{N: 1024, M: 1024, K: 256},
+		},
+		TriadLoBytes: 1 << 14,
+		TriadHiBytes: 1 << 26,
+		Serial:       true, // deterministic event order for the SSE tail
+	}
+	body, err := json.Marshal(campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- First submission: asynchronous job + SSE progress tail. ---
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job struct {
+		ID     string          `json:"id"`
+		State  string          `json:"state"`
+		Cached bool            `json:"cached"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := decodeJSON(resp, &job); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted job %s (fingerprint %.16s…)\n",
+		job.ID, resp.Header.Get(serve.FingerprintHeader))
+
+	events, err := tailEvents(base, job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d progress events; last sweep winners:\n", len(events))
+	for _, ev := range events {
+		if ev.Kind == rooftune.EventSweepWon {
+			fmt.Printf("  %-24s %s -> %.2f %s\n", ev.Sweep, ev.Case, ev.Value, ev.Unit)
+		}
+	}
+
+	// The terminal status carries the Result in the v1 wire schema,
+	// which round-trips exactly — Summary() here is byte-identical to
+	// what an in-process Session.Run would have rendered.
+	resp, err = http.Get(base + "/v1/jobs/" + job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := decodeJSON(resp, &job); err != nil {
+		log.Fatal(err)
+	}
+	if job.State != "done" {
+		log.Fatalf("job ended in state %q", job.State)
+	}
+	var res rooftune.Result
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.Summary())
+
+	// --- Second submission: the fingerprint is already cached, so the
+	// daemon answers synchronously from stored bytes without running a
+	// single kernel. ---
+	resp, err = http.Post(base+"/v1/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resubmitted: %s=%s, response bytes identical to first run: %v\n",
+		serve.CacheHeader, resp.Header.Get(serve.CacheHeader),
+		bytes.Equal(bytes.TrimSpace(again), bytes.TrimSpace(job.Result)))
+}
+
+// tailEvents subscribes to the job's SSE stream and collects progress
+// events until the daemon's final "end" event.
+func tailEvents(base, id string) ([]rooftune.Event, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var events []rooftune.Event
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	name := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "":
+			name = ""
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if name == "end" {
+				return events, nil
+			}
+			var ev rooftune.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return nil, err
+			}
+			events = append(events, ev)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return events, fmt.Errorf("event stream ended before the job did")
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("daemon returned %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, v)
+}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rooftune/internal/hw"
+	"rooftune/internal/lint"
+	"rooftune/internal/lint/configsum"
+	"rooftune/internal/stats"
+)
+
+// wireConfigs is one representative value per Config variant, with every
+// field nonzero so a dropped field shows up as a round-trip diff. The
+// exhaustiveness test below asserts this table tracks the configsum
+// variant census, so a new variant without wire coverage fails here.
+var wireConfigs = map[string]Config{
+	"DGEMMConfig":   DGEMMConfig{N: 1000, M: 4096, K: 128, Sockets: 2, Threads: 8},
+	"TriadConfig":   TriadConfig{Elements: 1 << 20, Affinity: hw.AffinitySpread, Sockets: 2, Threads: 4},
+	"SpMVConfig":    SpMVConfig{N: 1 << 18, NNZPerRow: 16, ChunkRows: 512, Sockets: 1, Threads: 6},
+	"StencilConfig": StencilConfig{NX: 2048, NY: 1024, TileX: 256, TileY: 8, Sockets: 1, Threads: 3},
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	for name, cfg := range wireConfigs {
+		t.Run(name, func(t *testing.T) {
+			data, err := MarshalConfig(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalConfig(data)
+			if err != nil {
+				t.Fatalf("decoding %s: %v", data, err)
+			}
+			if !reflect.DeepEqual(back, cfg) {
+				t.Fatalf("round trip changed the config:\nsent: %#v\ngot:  %#v", cfg, back)
+			}
+		})
+	}
+}
+
+func TestConfigDigestStable(t *testing.T) {
+	for name, cfg := range wireConfigs {
+		t.Run(name, func(t *testing.T) {
+			d1, err := ConfigDigest(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := ConfigDigest(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1 != d2 {
+				t.Fatalf("digest not deterministic: %s vs %s", d1, d2)
+			}
+			if len(d1) != 64 {
+				t.Fatalf("digest %q is not hex SHA-256", d1)
+			}
+		})
+	}
+}
+
+// TestConfigDigestDistinguishes checks the content-address property on
+// the mutations that matter: a changed field value and a different
+// variant with coincidentally similar fields must digest differently.
+func TestConfigDigestDistinguishes(t *testing.T) {
+	base := DGEMMConfig{N: 1000, M: 4096, K: 128, Sockets: 1}
+	mutants := []Config{
+		DGEMMConfig{N: 1001, M: 4096, K: 128, Sockets: 1},
+		DGEMMConfig{N: 1000, M: 4096, K: 128, Sockets: 2},
+		DGEMMConfig{N: 1000, M: 4096, K: 128, Sockets: 1, Threads: 1},
+		TriadConfig{Elements: 1000, Sockets: 1},
+	}
+	baseDigest, err := ConfigDigest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mutants {
+		d, err := ConfigDigest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == baseDigest {
+			t.Fatalf("%#v digests equal to %#v", m, base)
+		}
+	}
+}
+
+func TestConfigWireRejectsUnknownVariant(t *testing.T) {
+	if _, err := UnmarshalConfig([]byte(`{"variant":"FFTConfig","fields":{}}`)); err == nil {
+		t.Fatal("unknown variant must fail decoding")
+	} else if !strings.Contains(err.Error(), "FFTConfig") {
+		t.Fatalf("error %q does not name the variant", err)
+	}
+	type fake struct{ DGEMMConfig }
+	if _, err := MarshalConfig(fake{}); err == nil {
+		t.Fatal("unknown variant must fail encoding")
+	}
+	if _, err := ConfigDigest(fake{}); err == nil {
+		t.Fatal("unknown variant must fail digesting")
+	}
+}
+
+// TestWireVariantsExhaustive is the digest/serialization analogue of the
+// root config round-trip test: it takes the bench.Config variant census
+// from the configsum analyzer (the same census rooflint enforces
+// tree-wide) and asserts the wire layer — decoder table, canonical
+// digest and the representative table above — covers every variant. A
+// fifth variant added without wire support fails here, not in a
+// daemon's cache layer.
+func TestWireVariantsExhaustive(t *testing.T) {
+	pkgs, err := lint.Load("../..", "./internal/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want exactly internal/bench", len(pkgs))
+	}
+	variants, err := configsum.VariantNames(pkgs[0].Types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodable := map[string]bool{}
+	for _, name := range WireVariants() {
+		decodable[name] = true
+	}
+	for _, name := range variants {
+		if !decodable[name] {
+			t.Errorf("bench.Config variant %s has no wire decoder: add it to configDecoders, MarshalConfig and ConfigCanonical", name)
+		}
+		if _, ok := wireConfigs[name]; !ok {
+			t.Errorf("bench.Config variant %s has no representative in wireConfigs: digest and round-trip coverage is incomplete", name)
+		}
+	}
+	declared := map[string]bool{}
+	for _, name := range variants {
+		declared[name] = true
+	}
+	for _, name := range WireVariants() {
+		if !declared[name] {
+			t.Errorf("wire decoder covers %s, which internal/bench no longer declares", name)
+		}
+	}
+}
+
+func TestOutcomeJSONRoundTrip(t *testing.T) {
+	out := Outcome{
+		Key:      "n1000m4096k128s1",
+		Describe: "n=1000 m=4096 k=128",
+		Metric:   MetricFlops,
+		Config:   DGEMMConfig{N: 1000, M: 4096, K: 128, Sockets: 1},
+		Mean:     408.71e9,
+		Invocations: []InvocationResult{
+			{
+				Mean:     408.91e9,
+				Samples:  37,
+				Measured: 1274 * time.Millisecond,
+				Reason:   StopConfidence,
+				CI:       stats.Interval{Mean: 408.91e9, Lower: 405e9, Upper: 412.8e9, Level: 0.99},
+			},
+			{
+				Mean:     408.51e9,
+				Samples:  12,
+				Measured: 410 * time.Millisecond,
+				Reason:   StopBound,
+				CI:       stats.Interval{Mean: 408.51e9, Lower: 404e9, Upper: 413e9, Level: 0.99},
+			},
+		},
+		InnerStops:   1,
+		Pruned:       true,
+		Elapsed:      3141592653 * time.Nanosecond,
+		TotalSamples: 49,
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, out) {
+		t.Fatalf("round trip changed the outcome:\nsent: %#v\ngot:  %#v", out, back)
+	}
+}
+
+// TestOutcomeJSONWithoutConfig pins the test-fake path: an outcome with
+// no typed config must round-trip as nil, not error or zero-value.
+func TestOutcomeJSONWithoutConfig(t *testing.T) {
+	out := Outcome{Key: "fake", Metric: MetricBandwidth, Mean: 42e9}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != nil {
+		t.Fatalf("config = %#v, want nil", back.Config)
+	}
+	if !reflect.DeepEqual(back, out) {
+		t.Fatalf("round trip changed the outcome: %#v vs %#v", back, out)
+	}
+}
+
+// BenchmarkDigest measures the content-address computation over every
+// Config variant — the per-request fingerprint cost the serving tier
+// pays before it can consult its cache.
+func BenchmarkDigest(b *testing.B) {
+	configs := make([]Config, 0, len(wireConfigs))
+	for _, c := range wireConfigs {
+		configs = append(configs, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range configs {
+			if _, err := ConfigDigest(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package budget divides a fixed host-parallelism capacity among
+// concurrently active tuning runs. The serving tier acquires one lease
+// per run and hands the lease's share to the session as its
+// WithHostParallelism cap, so N concurrent campaigns each assume roughly
+// capacity/N of the machine instead of every one of them assuming the
+// whole host and oversubscribing it N-fold.
+//
+// The budget is advisory fair-share, not admission control: Acquire
+// never blocks and a lease's share is never zero (a run starved below
+// one worker could not make progress at all). Shares are fixed at
+// acquire time — a long-running campaign keeps the slice it started
+// with; only newly admitted runs see the updated contention. That keeps
+// every session's parallelism stable for its whole run, which is what
+// the determinism suites assume.
+package budget
+
+import (
+	"fmt"
+	"sync"
+
+	"rooftune/internal/parallel"
+)
+
+// Budget tracks how many runs share a host-parallelism capacity.
+type Budget struct {
+	capacity int
+
+	mu     sync.Mutex
+	active int
+}
+
+// New builds a budget over the given worker capacity; zero or negative
+// means the whole machine (GOMAXPROCS at construction time).
+func New(capacity int) *Budget {
+	if capacity <= 0 {
+		capacity = parallel.DefaultThreads()
+	}
+	return &Budget{capacity: capacity}
+}
+
+// Capacity reports the total worker capacity being divided.
+func (b *Budget) Capacity() int { return b.capacity }
+
+// Active reports how many leases are currently outstanding.
+func (b *Budget) Active() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// Lease is one run's slice of the host. Release it when the run ends;
+// releasing more than once is a bug and panics loudly rather than
+// silently inflating every later run's share.
+type Lease struct {
+	budget   *Budget
+	share    int
+	released bool
+	mu       sync.Mutex
+}
+
+// Share is the lease's worker count: max(1, capacity/active) evaluated
+// when the lease was acquired.
+func (l *Lease) Share() int { return l.share }
+
+// Acquire admits one run and returns its lease. The share is the fair
+// split among all runs active the moment this one joins, floored at one
+// worker.
+func (b *Budget) Acquire() *Lease {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.active++
+	share := b.capacity / b.active
+	if share < 1 {
+		share = 1
+	}
+	return &Lease{budget: b, share: share}
+}
+
+// Release returns the lease's slice to the budget.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		panic(fmt.Sprintf("budget: lease (share %d) released twice", l.share))
+	}
+	l.released = true
+	l.budget.mu.Lock()
+	defer l.budget.mu.Unlock()
+	l.budget.active--
+	if l.budget.active < 0 {
+		panic("budget: active count underflow")
+	}
+}

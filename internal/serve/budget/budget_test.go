@@ -1,0 +1,102 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+
+	"rooftune/internal/parallel"
+)
+
+func TestFairShare(t *testing.T) {
+	b := New(8)
+	if b.Capacity() != 8 {
+		t.Fatalf("Capacity() = %d, want 8", b.Capacity())
+	}
+	l1 := b.Acquire()
+	if l1.Share() != 8 {
+		t.Fatalf("first lease share = %d, want the whole capacity 8", l1.Share())
+	}
+	l2 := b.Acquire()
+	if l2.Share() != 4 {
+		t.Fatalf("second lease share = %d, want 4", l2.Share())
+	}
+	l3 := b.Acquire()
+	if l3.Share() != 2 {
+		t.Fatalf("third lease share = %d, want 2", l3.Share())
+	}
+	// Shares are fixed at acquire time: l1 keeps its original slice.
+	if l1.Share() != 8 {
+		t.Fatalf("first lease share moved to %d after later acquires", l1.Share())
+	}
+	if b.Active() != 3 {
+		t.Fatalf("Active() = %d, want 3", b.Active())
+	}
+	l2.Release()
+	if b.Active() != 2 {
+		t.Fatalf("Active() after release = %d, want 2", b.Active())
+	}
+	// A new run sees the updated contention.
+	if l4 := b.Acquire(); l4.Share() != 2 {
+		t.Fatalf("post-release lease share = %d, want 8/3 floored + rejoin math = 2", l4.Share())
+	}
+	l1.Release()
+	l3.Release()
+}
+
+func TestShareNeverZero(t *testing.T) {
+	b := New(2)
+	var leases []*Lease
+	for i := 0; i < 10; i++ {
+		leases = append(leases, b.Acquire())
+	}
+	for i, l := range leases {
+		if l.Share() < 1 {
+			t.Fatalf("lease %d share = %d; shares must floor at 1", i, l.Share())
+		}
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+	if b.Active() != 0 {
+		t.Fatalf("Active() = %d after releasing everything", b.Active())
+	}
+}
+
+func TestZeroCapacityMeansMachine(t *testing.T) {
+	b := New(0)
+	if b.Capacity() != parallel.DefaultThreads() {
+		t.Fatalf("Capacity() = %d, want GOMAXPROCS %d", b.Capacity(), parallel.DefaultThreads())
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	l := New(4).Acquire()
+	l.Release()
+	l.Release()
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	b := New(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		//rooflint:allow nogoroutine -- test stressor; joined by wg.Wait below
+		go func() {
+			defer wg.Done()
+			l := b.Acquire()
+			if l.Share() < 1 || l.Share() > 16 {
+				t.Errorf("share %d out of [1,16]", l.Share())
+			}
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if b.Active() != 0 {
+		t.Fatalf("Active() = %d after all releases", b.Active())
+	}
+}

@@ -1,0 +1,202 @@
+// Package cache is the serving tier's content-addressed result store: a
+// size-bounded LRU mapping session fingerprints (hex SHA-256 content
+// addresses) to serialized Result bytes, optionally persisted to a
+// directory so a restarted daemon keeps its warm entries.
+//
+// Values are stored and returned as opaque bytes on purpose. The serve
+// layer answers a cache hit with the stored bytes verbatim — no
+// re-marshalling — which is what makes repeated responses byte-identical,
+// and the key being a content address means a hit can only ever be
+// returned to a request that would have re-measured exactly the same
+// campaign.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// keyPattern is the only accepted key shape: a lowercase hex SHA-256.
+// Keys double as file names under the persistence directory, so
+// anything else is rejected before it can traverse a path.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+const fileSuffix = ".json"
+
+// Stats is a point-in-time cache counter snapshot.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is a concurrency-safe LRU over fingerprint-keyed byte values.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	dir     string
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// New builds a cache bounded to maxEntries (values <= 0 mean the
+// default 256). If dir is non-empty it is created if needed and every
+// valid persisted entry in it is loaded, oldest first, so the most
+// recently written entries survive if the directory holds more than the
+// bound.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	c := &Cache{
+		max:     maxEntries,
+		dir:     dir,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: create dir: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: read dir: %w", err)
+	}
+	type onDisk struct {
+		key  string
+		path string
+		mod  int64
+	}
+	var found []onDisk
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if filepath.Ext(name) != fileSuffix {
+			continue
+		}
+		key := name[:len(name)-len(fileSuffix)]
+		if !keyPattern.MatchString(key) {
+			continue // not ours; leave foreign files alone
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{key: key, path: filepath.Join(dir, name), mod: info.ModTime().UnixNano()})
+	}
+	// Oldest first: inserting in age order makes the newest entries the
+	// most recently used, so an over-full directory evicts its oldest.
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mod != found[j].mod {
+			return found[i].mod < found[j].mod
+		}
+		return found[i].key < found[j].key
+	})
+	for _, f := range found {
+		val, err := os.ReadFile(f.path)
+		if err != nil || len(val) == 0 {
+			continue
+		}
+		c.insert(f.key, val)
+	}
+	// Loading is a restore, not traffic: zero the eviction counter so
+	// Stats reflect the daemon's own lifetime.
+	c.evictions = 0
+	return c, nil
+}
+
+// Get returns the stored bytes for key and whether it was present,
+// promoting a hit to most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entries
+// beyond the bound. Malformed keys and empty values are errors — an
+// empty cached response would be served verbatim forever.
+func (c *Cache) Put(key string, val []byte) error {
+	if !keyPattern.MatchString(key) {
+		return fmt.Errorf("cache: malformed key %q: want lowercase hex sha256", key)
+	}
+	if len(val) == 0 {
+		return fmt.Errorf("cache: refusing to store an empty value under %s", key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, val)
+	if c.dir != "" {
+		// Best effort and atomic: a torn write must never surface as a
+		// truncated cached Result after a restart.
+		tmp := filepath.Join(c.dir, key+".tmp")
+		if err := os.WriteFile(tmp, val, 0o644); err == nil {
+			_ = os.Rename(tmp, filepath.Join(c.dir, key+fileSuffix))
+		}
+	}
+	return nil
+}
+
+// insert adds or refreshes an entry and trims to the bound. Callers hold
+// the lock (or, during New, have exclusive ownership).
+func (c *Cache) insert(key string, val []byte) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, val: val})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		e := oldest.Value.(*entry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.key)
+		c.evictions++
+		if c.dir != "" {
+			_ = os.Remove(filepath.Join(c.dir, e.key+fileSuffix))
+		}
+	}
+}
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   c.order.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

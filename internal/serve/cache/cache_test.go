@@ -1,0 +1,201 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func key(seed int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", seed)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestHitMissPromote(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put(key(1), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(2), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(key(1)); !ok || string(got) != "one" {
+		t.Fatalf("Get(1) = %q, %v", got, ok)
+	}
+	// 1 was just used, so inserting 3 must evict 2, not 1.
+	if err := c.Put(key(3), []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("LRU evicted the recently used entry instead of the stale one")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses", s)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	c, err := New(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("../../etc/passwd", []byte("x")); err == nil {
+		t.Fatal("malformed key accepted")
+	}
+	if err := c.Put("ABC", []byte("x")); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if err := c.Put(key(1), nil); err == nil {
+		t.Fatal("empty value accepted")
+	}
+}
+
+func TestOverwriteRefreshes(t *testing.T) {
+	c, err := New(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(1), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(1), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get(key(1)); string(got) != "v2" {
+		t.Fatalf("Get = %q after overwrite", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(1), []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(2), []byte(`{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A restarted daemon reloads both entries bit for bit.
+	re, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := re.Get(key(1)); !ok || string(got) != `{"x":1}` {
+		t.Fatalf("reloaded Get(1) = %q, %v", got, ok)
+	}
+	if got, ok := re.Get(key(2)); !ok || string(got) != `{"x":2}` {
+		t.Fatalf("reloaded Get(2) = %q, %v", got, ok)
+	}
+	if re.Stats().Evictions != 0 {
+		t.Fatalf("reload counted evictions: %+v", re.Stats())
+	}
+}
+
+func TestDirReloadKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Put(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mod times so age ordering is unambiguous on coarse
+		// filesystem clocks.
+		past := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, key(i)+fileSuffix), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reload into a bound of 2: only the two newest survive, and the
+	// directory is trimmed to match.
+	re, err := New(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", re.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := re.Get(key(i)); ok {
+			t.Fatalf("old entry %d survived a bounded reload", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, ok := re.Get(key(i)); !ok {
+			t.Fatalf("new entry %d lost in bounded reload", i)
+		}
+	}
+}
+
+func TestDirIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "nothex.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("foreign files loaded: Len = %d", c.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatalf("foreign file touched: %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		//rooflint:allow nogoroutine -- test stressor; joined by wg.Wait below
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				k := key(j % 24)
+				if j%3 == 0 {
+					_ = c.Put(k, []byte(fmt.Sprintf("w%d", i)))
+				} else {
+					_, _ = c.Get(k)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("bound exceeded: Len = %d", c.Len())
+	}
+}

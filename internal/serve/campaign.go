@@ -1,0 +1,183 @@
+// Package serve is the rooftune daemon: a long-lived HTTP service that
+// accepts JSON campaign specs, resolves them through the same Session
+// machinery the library exposes, and memoizes every completed Result in
+// a content-addressed cache keyed by the session fingerprint.
+//
+// The contract that makes the cache sound is determinism: served
+// campaigns target simulated systems only and run with the case-shard
+// count pinned to one, so a campaign's Result is a pure function of its
+// fingerprint and a cache hit is byte-for-byte the response a fresh run
+// would have produced — with zero kernel executions. Native targets are
+// rejected: wall-clock measurements are not content-addressable (the
+// same campaign legitimately yields different numbers run to run).
+//
+// Concurrent identical submissions collapse onto one run (singleflight
+// via the jobs registry), and concurrent distinct campaigns divide the
+// host under a shared parallelism budget instead of each assuming the
+// whole machine.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rooftune"
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/units"
+)
+
+// DimsSpec is one DGEMM search-space point on the wire.
+type DimsSpec struct {
+	N int `json:"n"`
+	M int `json:"m"`
+	K int `json:"k"`
+}
+
+// BudgetSpec overrides parts of the default evaluation budget (Table I
+// with the paper's best technique). Zero-valued fields keep defaults;
+// the flag pointers distinguish "unset" from an explicit false.
+type BudgetSpec struct {
+	Invocations   int   `json:"invocations,omitempty"`
+	MaxIterations int   `json:"maxIterations,omitempty"`
+	MaxTimeMs     int64 `json:"maxTimeMs,omitempty"`
+	Confidence    *bool `json:"confidence,omitempty"`
+	InnerBound    *bool `json:"innerBound,omitempty"`
+	OuterBound    *bool `json:"outerBound,omitempty"`
+	MinCount      int   `json:"minCount,omitempty"`
+}
+
+// Campaign is the wire form of a tuning request: which simulated system
+// to characterise, with which workloads, under which parameters. Every
+// field except System is optional and defaults exactly as the
+// corresponding rooftune option does, so an empty override set means
+// "the library's default campaign for this system".
+type Campaign struct {
+	// System names the simulated target (hw.Get). Required: the daemon
+	// serves simulated campaigns only.
+	System string `json:"system"`
+	// Workloads selects registered workloads, default ["dgemm","triad"].
+	Workloads []string `json:"workloads,omitempty"`
+	// Seed drives the simulated noise streams (default 1021, the paper
+	// seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Space overrides the DGEMM search space.
+	Space []DimsSpec `json:"space,omitempty"`
+	// Budget overrides parts of the evaluation budget.
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// TriadLoBytes / TriadHiBytes bound the TRIAD working-set sweep.
+	TriadLoBytes int64 `json:"triadLoBytes,omitempty"`
+	TriadHiBytes int64 `json:"triadHiBytes,omitempty"`
+	// TriadLevels selects cache-residency regions (subsets of
+	// L1/L2/L3/DRAM).
+	TriadLevels []string `json:"triadLevels,omitempty"`
+	// Chain enables cross-sweep incumbent chaining (WithSweepChaining).
+	Chain bool `json:"chain,omitempty"`
+	// SpMV / stencil shapes.
+	SpMVN         int `json:"spmvN,omitempty"`
+	SpMVNNZPerRow int `json:"spmvNNZPerRow,omitempty"`
+	StencilNX     int `json:"stencilNX,omitempty"`
+	StencilNY     int `json:"stencilNY,omitempty"`
+	// Serial forces serial sweep execution. Results are bit-identical
+	// either way; it exists so SSE consumers get a deterministic event
+	// order, not just a deterministic Result.
+	Serial bool `json:"serial,omitempty"`
+}
+
+// ParseCampaign decodes a campaign, rejecting unknown fields — a typoed
+// knob must fail the request, not silently run the default campaign and
+// cache it under the wrong intent.
+func ParseCampaign(r io.Reader) (Campaign, error) {
+	var c Campaign
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("serve: parse campaign: %w", err)
+	}
+	if dec.More() {
+		return c, fmt.Errorf("serve: parse campaign: trailing data after the campaign object")
+	}
+	return c, nil
+}
+
+// Options resolves the campaign into session options. The case-shard
+// count is always pinned to one: adaptive sharding may change the
+// search-cost accounting run to run, which would break the cache's
+// byte-identity guarantee (see rooftune.Session.Fingerprint).
+func (c Campaign) Options() ([]rooftune.Option, error) {
+	if c.System == "" {
+		return nil, fmt.Errorf("serve: campaign has no system: the daemon serves simulated campaigns only")
+	}
+	opts := []rooftune.Option{
+		rooftune.WithSystem(c.System),
+		rooftune.WithCaseShards(1),
+	}
+	if len(c.Workloads) > 0 {
+		opts = append(opts, rooftune.WithWorkloads(c.Workloads...))
+	}
+	if c.Seed != 0 {
+		opts = append(opts, rooftune.WithSeed(c.Seed))
+	}
+	if len(c.Space) > 0 {
+		dims := make([]core.Dims, len(c.Space))
+		for i, d := range c.Space {
+			dims[i] = core.Dims{N: d.N, M: d.M, K: d.K}
+		}
+		opts = append(opts, rooftune.WithSpace(dims))
+	}
+	if c.Budget != nil {
+		opts = append(opts, rooftune.WithBudget(c.Budget.resolve()))
+	}
+	if c.TriadLoBytes != 0 || c.TriadHiBytes != 0 {
+		if c.TriadLoBytes < 0 || c.TriadHiBytes < 0 {
+			return nil, fmt.Errorf("serve: negative TRIAD bounds %d..%d", c.TriadLoBytes, c.TriadHiBytes)
+		}
+		opts = append(opts, rooftune.WithTriadRange(units.ByteSize(c.TriadLoBytes), units.ByteSize(c.TriadHiBytes)))
+	}
+	if len(c.TriadLevels) > 0 {
+		opts = append(opts, rooftune.WithTriadLevels(c.TriadLevels...))
+	}
+	if c.Chain {
+		opts = append(opts, rooftune.WithSweepChaining(true))
+	}
+	if c.SpMVN != 0 || c.SpMVNNZPerRow != 0 {
+		opts = append(opts, rooftune.WithSpMVShape(c.SpMVN, c.SpMVNNZPerRow))
+	}
+	if c.StencilNX != 0 || c.StencilNY != 0 {
+		opts = append(opts, rooftune.WithStencilGrid(c.StencilNX, c.StencilNY))
+	}
+	if c.Serial {
+		opts = append(opts, rooftune.WithSerial())
+	}
+	return opts, nil
+}
+
+// resolve applies the spec's overrides on top of the session default
+// budget (Table I, Confidence+Inner+Outer).
+func (b BudgetSpec) resolve() bench.Budget {
+	out := bench.DefaultBudget().WithFlags(true, true, true)
+	if b.Invocations > 0 {
+		out.Invocations = b.Invocations
+	}
+	if b.MaxIterations > 0 {
+		out.MaxIterations = b.MaxIterations
+	}
+	if b.MaxTimeMs > 0 {
+		out.MaxTime = time.Duration(b.MaxTimeMs) * time.Millisecond
+	}
+	if b.Confidence != nil {
+		out.UseConfidence = *b.Confidence
+	}
+	if b.InnerBound != nil {
+		out.UseInnerBound = *b.InnerBound
+	}
+	if b.OuterBound != nil {
+		out.UseOuterBound = *b.OuterBound
+	}
+	if b.MinCount > 0 {
+		out.MinCount = b.MinCount
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rooftune"
+)
+
+const testKey = "0000000000000000000000000000000000000000000000000000000000000001"
+
+func TestLifecycle(t *testing.T) {
+	r := NewRegistry()
+	j, created := r.GetOrCreate(testKey)
+	if !created {
+		t.Fatal("first GetOrCreate must create")
+	}
+	if s := j.Snapshot(); s.State != StateQueued {
+		t.Fatalf("state = %s, want queued", s.State)
+	}
+	j.Start(func() {})
+	if s := j.Snapshot(); s.State != StateRunning {
+		t.Fatalf("state = %s, want running", s.State)
+	}
+	j.Emit(rooftune.Event{Kind: rooftune.EventSweepStarted, Sweep: "a", Cases: 3})
+	j.Finish([]byte(`{"ok":true}`), false)
+	s := j.Snapshot()
+	if s.State != StateDone || string(s.Result) != `{"ok":true}` || s.Cached || s.Events != 1 {
+		t.Fatalf("snapshot after finish = %+v", s)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// First completion wins: a late failure must not clobber the result.
+	j.Fail(errors.New("late cancel"))
+	if s := j.Snapshot(); s.State != StateDone || s.Err != "" {
+		t.Fatalf("late Fail clobbered a done job: %+v", s)
+	}
+}
+
+func TestSingleflightIndex(t *testing.T) {
+	r := NewRegistry()
+	a, created := r.GetOrCreate(testKey)
+	if !created {
+		t.Fatal("want created")
+	}
+	b, created := r.GetOrCreate(testKey)
+	if created || b != a {
+		t.Fatal("concurrent same-key submission must join the in-flight job")
+	}
+	if r.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", r.Active())
+	}
+	a.Start(func() {})
+	a.Finish([]byte("x"), false)
+	// Terminal jobs leave the index: a later same-key submission gets a
+	// fresh run.
+	c, created := r.GetOrCreate(testKey)
+	if !created || c == a {
+		t.Fatal("post-completion submission must create a fresh job")
+	}
+	if _, ok := r.Get(a.ID); !ok {
+		t.Fatal("finished job forgotten by ID")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+// TestEventCursor pins the replay-then-live contract: a cursor started
+// after some events replays them immediately, then observes each new
+// append via the notify channel, and sees the full sequence in order.
+func TestEventCursor(t *testing.T) {
+	r := NewRegistry()
+	j, _ := r.GetOrCreate(testKey)
+	j.Start(func() {})
+	for i := 0; i < 3; i++ {
+		j.Emit(rooftune.Event{Kind: rooftune.EventCaseEvaluated, Cases: i})
+	}
+
+	var got []rooftune.Event
+	cursor := 0
+	evs, terminal, _ := j.EventsSince(cursor)
+	if len(evs) != 3 || terminal {
+		t.Fatalf("replay = %d events, terminal %v; want 3, false", len(evs), terminal)
+	}
+	got = append(got, evs...)
+	cursor += len(evs)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//rooflint:allow nogoroutine -- test consumer; joined by wg.Wait below
+	go func() {
+		defer wg.Done()
+		for {
+			evs, terminal, notify := j.EventsSince(cursor)
+			got = append(got, evs...)
+			cursor += len(evs)
+			if terminal {
+				return
+			}
+			select {
+			case <-notify:
+			case <-time.After(5 * time.Second):
+				t.Error("cursor starved")
+				return
+			}
+		}
+	}()
+	for i := 3; i < 6; i++ {
+		j.Emit(rooftune.Event{Kind: rooftune.EventCaseEvaluated, Cases: i})
+	}
+	j.Finish([]byte("x"), false)
+	wg.Wait()
+
+	if len(got) != 6 {
+		t.Fatalf("observed %d events, want 6", len(got))
+	}
+	for i, ev := range got {
+		if ev.Cases != i {
+			t.Fatalf("event %d out of order: %+v", i, ev)
+		}
+	}
+}
+
+func TestDisconnectCancelsUnpinned(t *testing.T) {
+	r := NewRegistry()
+	j, _ := r.GetOrCreate(testKey)
+	cancelled := make(chan struct{})
+	var once sync.Once
+	j.Start(func() { once.Do(func() { close(cancelled) }) })
+
+	j.AddWatcher()
+	j.AddWatcher()
+	j.RemoveWatcher()
+	select {
+	case <-cancelled:
+		t.Fatal("cancelled while a watcher remained")
+	default:
+	}
+	j.RemoveWatcher()
+	select {
+	case <-cancelled:
+	default:
+		t.Fatal("last watcher left an unpinned running job uncancelled")
+	}
+}
+
+func TestPinnedSurvivesDisconnect(t *testing.T) {
+	r := NewRegistry()
+	j, _ := r.GetOrCreate(testKey)
+	cancelled := false
+	j.Start(func() { cancelled = true })
+	j.Pin()
+	j.AddWatcher()
+	j.RemoveWatcher()
+	if cancelled {
+		t.Fatal("pinned job cancelled on disconnect")
+	}
+}
+
+func TestTerminalJobNotCancelledByDisconnect(t *testing.T) {
+	r := NewRegistry()
+	j, _ := r.GetOrCreate(testKey)
+	cancelled := false
+	j.Start(func() { cancelled = true })
+	j.AddWatcher()
+	j.Finish([]byte("x"), true)
+	j.RemoveWatcher()
+	if cancelled {
+		t.Fatal("disconnect after completion invoked cancel")
+	}
+}
+
+func TestWaitHonoursContext(t *testing.T) {
+	r := NewRegistry()
+	j, _ := r.GetOrCreate(testKey)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := j.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+func TestIDsAreSequential(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.GetOrCreate(testKey)
+	b, _ := r.GetOrCreate(strings.Repeat("ab", 32))
+	if a.ID == b.ID {
+		t.Fatalf("distinct jobs share ID %s", a.ID)
+	}
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"rooftune"
+	"rooftune/internal/serve/budget"
+	"rooftune/internal/serve/cache"
+	"rooftune/internal/serve/jobs"
+)
+
+// CacheHeader reports whether a response was served from the
+// content-addressed cache ("hit") or freshly measured ("miss").
+const CacheHeader = "X-Roofserve-Cache"
+
+// FingerprintHeader carries the campaign's content address on every
+// tuning response, so clients can correlate, pre-warm, or debug cache
+// behaviour.
+const FingerprintHeader = "X-Roofserve-Fingerprint"
+
+// JobHeader names the job that produced (or is producing) a response.
+const JobHeader = "X-Roofserve-Job"
+
+// Config configures a Server.
+type Config struct {
+	// CacheEntries bounds the result cache (<=0: the cache default).
+	CacheEntries int
+	// CacheDir, if set, persists cache entries across daemon restarts.
+	CacheDir string
+	// Parallelism is the host-parallelism capacity divided among
+	// concurrent runs (<=0: GOMAXPROCS).
+	Parallelism int
+}
+
+// Server is the daemon: routing, the job registry, the result cache and
+// the shared host budget. Construct with New, mount via Handler, and
+// cancel the context passed to New to abort every in-flight run on
+// shutdown.
+type Server struct {
+	base   context.Context
+	cache  *cache.Cache
+	reg    *jobs.Registry
+	budget *budget.Budget
+}
+
+// New builds a Server. base bounds every job the daemon starts: cancel
+// it on shutdown and in-flight runs abort between kernel executions.
+func New(base context.Context, cfg Config) (*Server, error) {
+	if base == nil {
+		base = context.Background()
+	}
+	c, err := cache.New(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return &Server{
+		base:   base,
+		cache:  c,
+		reg:    jobs.NewRegistry(),
+		budget: budget.New(cfg.Parallelism),
+	}, nil
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/tune            submit a campaign, wait, return the Result
+//	POST   /v1/jobs            submit a campaign, return a job handle
+//	GET    /v1/jobs/{id}        job status (+ Result when done)
+//	GET    /v1/jobs/{id}/events SSE stream of the job's progress events
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            cache / budget / registry counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// resolve parses a campaign and computes its fingerprint — the cache
+// key and singleflight identity. The throwaway session exists only to
+// fingerprint; each run builds its own (a Session executes one Run at a
+// time, and the run's session carries the job's progress hook and
+// budget lease).
+func (s *Server) resolve(r *http.Request) (key string, opts []rooftune.Option, err error) {
+	campaign, err := ParseCampaign(r.Body)
+	if err != nil {
+		return "", nil, err
+	}
+	opts, err = campaign.Options()
+	if err != nil {
+		return "", nil, err
+	}
+	sess, err := rooftune.New(opts...)
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: invalid campaign: %w", err)
+	}
+	key, err = sess.Fingerprint()
+	if err != nil {
+		return "", nil, fmt.Errorf("serve: fingerprint: %w", err)
+	}
+	return key, opts, nil
+}
+
+// launch returns the in-flight job for the fingerprint, starting a run
+// if none exists. Exactly one concurrent caller per fingerprint starts
+// a run; the rest join it.
+func (s *Server) launch(key string, opts []rooftune.Option) *jobs.Job {
+	job, created := s.reg.GetOrCreate(key)
+	if !created {
+		return job
+	}
+	ctx, cancel := context.WithCancel(s.base)
+	job.Start(cancel)
+	//rooflint:allow nogoroutine -- job executor; bounded by s.base, joined by job.Wait/terminal state before anyone reads the result
+	go s.run(ctx, cancel, job, opts)
+	return job
+}
+
+// run executes one job: acquire a host-budget lease, build the job's
+// session (progress wired to the job's event history, host parallelism
+// capped to the lease's share), run it, serialize, cache, finish.
+func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.Job, opts []rooftune.Option) {
+	defer cancel()
+	lease := s.budget.Acquire()
+	defer lease.Release()
+	opts = append(opts,
+		rooftune.WithHostParallelism(lease.Share()),
+		rooftune.WithProgress(job.Emit),
+	)
+	sess, err := rooftune.New(opts...)
+	if err != nil {
+		job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
+		return
+	}
+	res, err := sess.Run(ctx)
+	if err != nil {
+		job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		job.Fail(fmt.Errorf("serve: job %s: serialize: %w", job.ID, err))
+		return
+	}
+	if err := s.cache.Put(job.Key, data); err != nil {
+		// The run still succeeded; an uncacheable result is the job's
+		// problem to report, not to hide.
+		job.Fail(fmt.Errorf("serve: job %s: cache: %w", job.ID, err))
+		return
+	}
+	job.Finish(data, false)
+}
+
+// handleTune is the synchronous path: answer from the cache if the
+// fingerprint is stored (bytes verbatim — this is the byte-identity
+// guarantee), otherwise run (or join) the campaign and wait. A client
+// that disconnects while waiting releases its watch; if it was the last
+// watcher, the run is cancelled.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	key, opts, err := s.resolve(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set(FingerprintHeader, key)
+	if data, ok := s.cache.Get(key); ok {
+		writeResult(w, data, true)
+		return
+	}
+	job := s.launch(key, opts)
+	w.Header().Set(JobHeader, job.ID)
+	job.AddWatcher()
+	defer job.RemoveWatcher()
+	if err := job.Wait(r.Context()); err != nil {
+		// The client is gone; nobody will read this, but be well-formed.
+		httpError(w, 499, fmt.Errorf("serve: client closed request: %w", err))
+		return
+	}
+	snap := job.Snapshot()
+	if snap.State == jobs.StateFailed {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("%s", snap.Err))
+		return
+	}
+	writeResult(w, snap.Result, snap.Cached)
+}
+
+// jobStatus is the wire form of GET /v1/jobs/{id} and POST /v1/jobs.
+type jobStatus struct {
+	ID     string          `json:"id"`
+	Key    string          `json:"fingerprint"`
+	State  jobs.State      `json:"state"`
+	Cached bool            `json:"cached,omitempty"`
+	Events int             `json:"events"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func statusOf(snap jobs.Snapshot) jobStatus {
+	st := jobStatus{
+		ID:     snap.ID,
+		Key:    snap.Key,
+		State:  snap.State,
+		Cached: snap.Cached,
+		Events: snap.Events,
+		Error:  snap.Err,
+	}
+	if snap.State == jobs.StateDone {
+		st.Result = snap.Result
+	}
+	return st
+}
+
+// handleSubmit is the asynchronous path: the job is pinned (its client
+// polls; holding no connection is its normal state) and the response is
+// its handle. A cache hit mints an already-done job so clients have one
+// uniform flow.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	key, opts, err := s.resolve(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set(FingerprintHeader, key)
+	if data, ok := s.cache.Get(key); ok {
+		job, created := s.reg.GetOrCreate(key)
+		job.Pin()
+		if created {
+			job.Start(func() {})
+			job.Finish(data, true)
+		}
+		w.Header().Set(JobHeader, job.ID)
+		writeJSON(w, http.StatusOK, statusOf(job.Snapshot()))
+		return
+	}
+	job := s.launch(key, opts)
+	job.Pin()
+	w.Header().Set(JobHeader, job.ID)
+	writeJSON(w, http.StatusAccepted, statusOf(job.Snapshot()))
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(job.Snapshot()))
+}
+
+// handleJobEvents streams the job's progress events as SSE: the full
+// recorded history replays first (a late subscriber misses nothing),
+// then each new event is pushed as it is emitted, and a final "end"
+// event carries the terminal state. The stream counts as a watcher:
+// disconnecting the last watcher of an unpinned job cancels it.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: response writer cannot stream"))
+		return
+	}
+	job.AddWatcher()
+	defer job.RemoveWatcher()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set(JobHeader, job.ID)
+	h.Set(FingerprintHeader, job.Key)
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	cursor := 0
+	for {
+		evs, terminal, notify := job.EventsSince(cursor)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return // an unencodable event ends the stream, not the job
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+		}
+		if len(evs) > 0 {
+			cursor += len(evs)
+			flusher.Flush()
+		}
+		if terminal {
+			snap := job.Snapshot()
+			fmt.Fprintf(w, "event: end\ndata: {\"state\":%q}\n\n", snap.State)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, statusOf(job.Snapshot()))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache": s.cache.Stats(),
+		"budget": map[string]int{
+			"capacity": s.budget.Capacity(),
+			"active":   s.budget.Active(),
+		},
+		"jobs": map[string]int{
+			"total":  s.reg.Len(),
+			"active": s.reg.Active(),
+		},
+	})
+}
+
+// writeResult writes serialized Result bytes verbatim, tagging the
+// cache disposition in the header. The body is exactly the stored
+// bytes on a hit — never re-decoded or re-encoded.
+func writeResult(w http.ResponseWriter, data []byte, cached bool) {
+	disposition := "miss"
+	if cached {
+		disposition = "hit"
+	}
+	w.Header().Set(CacheHeader, disposition)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

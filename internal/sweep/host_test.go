@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"testing"
+
+	"rooftune/internal/parallel"
+)
+
+// TestRunnerHostClamp pins the Host budget's worker arithmetic: Host
+// substitutes for the machine's thread count everywhere the Runner sizes
+// a pool, so a serving tier handing each run a slice of the host bounds
+// its sweep-level concurrency without touching results.
+func TestRunnerHostClamp(t *testing.T) {
+	def := parallel.DefaultThreads()
+	tests := []struct {
+		name string
+		r    Runner
+		want int
+	}{
+		{"host caps default workers", Runner{Host: 2}, 2},
+		{"host caps explicit workers", Runner{Host: 2, Workers: 8}, 2},
+		{"workers below host kept", Runner{Host: 4, Workers: 3}, 3},
+		{"serial wins over host", Runner{Host: 4, Serial: true}, 1},
+		{"zero host falls back to machine", Runner{Workers: def + 5}, def},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.r.workerCount(); got != tc.want {
+				t.Fatalf("workerCount() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+	if got := (&Runner{Host: 3}).hostThreads(); got != 3 {
+		t.Fatalf("hostThreads() = %d, want 3", got)
+	}
+	if got := (&Runner{}).hostThreads(); got != def {
+		t.Fatalf("hostThreads() default = %d, want %d", got, def)
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-
-	"rooftune/internal/parallel"
 )
 
 // Node is one sweep in a plan graph: a Spec under a stable ID, with an
@@ -141,13 +139,7 @@ func (r *Runner) RunPlan(ctx context.Context, nodes []Node) ([]Outcome, error) {
 	if err := ValidatePlan(nodes); err != nil {
 		return nil, err
 	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = parallel.DefaultThreads()
-	}
-	if r.Serial {
-		workers = 1
-	}
+	workers := r.workerCount()
 	failFast := workers == 1
 
 	index := make(map[string]int, len(nodes))

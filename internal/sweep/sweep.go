@@ -135,8 +135,19 @@ type Runner struct {
 	// simulated builds it exists for debugging and the determinism tests —
 	// parallel results are bit-identical either way.
 	Serial bool
-	// Workers caps sweep-level concurrency (default GOMAXPROCS).
+	// Workers caps sweep-level concurrency (default: the host budget —
+	// see Host).
 	Workers int
+	// Host is the host-parallelism budget this runner may assume it owns
+	// (default GOMAXPROCS). It bounds both sweep-level concurrency and the
+	// adaptive case-shard policy's notion of spare capacity, so N runners
+	// sharing one machine under a serving tier's budget (each handed
+	// capacity/N) divide the host instead of each sizing pools as if it
+	// ran alone. Explicit Workers settings are clamped to it. Host never
+	// changes results on simulated engines — sweep-level schedules are
+	// bit-identical by construction — only how much hardware the schedule
+	// occupies.
+	Host int
 	// CaseShards is the number of workers evaluating cases concurrently
 	// *within* each sweep. 1 forces strictly serial case evaluation (the
 	// paper's loop); n > 1 fixes the shard pool; 0 (the default) sizes it
@@ -182,13 +193,7 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	}
 	outs := make([]Outcome, len(specs))
 	errs := make([]error, len(specs))
-	workers := r.Workers
-	if workers <= 0 {
-		workers = parallel.DefaultThreads()
-	}
-	if r.Serial {
-		workers = 1
-	}
+	workers := r.workerCount()
 	failFast := workers == 1
 	var failed atomic.Bool
 	pool := parallel.NewPool(workers)
@@ -223,6 +228,29 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]Outcome, error) {
 	return outs, nil
 }
 
+// hostThreads resolves the runner's host-parallelism budget: the Host
+// cap when set, otherwise the whole machine.
+func (r *Runner) hostThreads() int {
+	if r.Host > 0 {
+		return r.Host
+	}
+	return parallel.DefaultThreads()
+}
+
+// workerCount resolves sweep-level concurrency: Workers clamped to the
+// host budget, Serial pinning it to one.
+func (r *Runner) workerCount() int {
+	host := r.hostThreads()
+	workers := r.Workers
+	if workers <= 0 || workers > host {
+		workers = host
+	}
+	if r.Serial {
+		workers = 1
+	}
+	return workers
+}
+
 // minShardCases is the smallest case count worth giving an adaptive shard
 // worker: below it, shard startup and incumbent traffic outweigh the
 // concurrency, so small sweeps stay serial on their own.
@@ -247,9 +275,9 @@ func (r *Runner) shardsFor(s Spec, concurrent int) int {
 		// concurrency back in through shard workers.
 		return 1
 	}
-	host := parallel.DefaultThreads()
+	host := r.hostThreads()
 	sweepWorkers := r.Workers
-	if sweepWorkers <= 0 {
+	if sweepWorkers <= 0 || sweepWorkers > host {
 		sweepWorkers = host
 	}
 	if concurrent > 0 && sweepWorkers > concurrent {

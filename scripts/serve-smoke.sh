@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# serve-smoke: black-box check of the roofserved daemon over real HTTP.
+#
+# Starts roofserved on an ephemeral port, submits the same simulated
+# DGEMM campaign twice, and asserts the contract the serving tier is
+# built around:
+#   1. the second response is a cache hit (X-Roofserve-Cache: hit),
+#   2. its body is byte-identical to the first response,
+#   3. rooftool -remote renders a summary bit-identical to the same
+#      campaign run in-process.
+# Run from the repository root: ./scripts/serve-smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/roofserved" ./cmd/roofserved
+go build -o "$workdir/rooftool" ./cmd/rooftool
+
+echo "== start daemon (ephemeral port)"
+"$workdir/roofserved" -addr 127.0.0.1:0 >"$workdir/daemon.out" 2>"$workdir/daemon.err" &
+daemon_pid=$!
+
+# The daemon prints "roofserved listening on http://host:port" once the
+# listener is bound; poll for it rather than sleeping a fixed time.
+base=""
+for _ in $(seq 1 50); do
+  base=$(sed -n 's/^roofserved listening on \(http:\/\/.*\)$/\1/p' "$workdir/daemon.out")
+  [ -n "$base" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { echo "daemon died:"; cat "$workdir/daemon.err"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "daemon never reported its address"; cat "$workdir/daemon.err"; exit 1; }
+echo "daemon at $base"
+
+campaign='{"system": "Gold 6148", "workloads": ["dgemm"], "seed": 1021}'
+
+echo "== first request (must run the campaign)"
+curl -sS -f -D "$workdir/h1" -o "$workdir/r1.json" \
+  -H 'Content-Type: application/json' -d "$campaign" "$base/v1/tune"
+grep -i '^x-roofserve-cache: miss' "$workdir/h1" >/dev/null \
+  || { echo "first response was not a cache miss:"; cat "$workdir/h1"; exit 1; }
+
+echo "== second request (must be a byte-identical cache hit)"
+curl -sS -f -D "$workdir/h2" -o "$workdir/r2.json" \
+  -H 'Content-Type: application/json' -d "$campaign" "$base/v1/tune"
+grep -i '^x-roofserve-cache: hit' "$workdir/h2" >/dev/null \
+  || { echo "second response was not a cache hit:"; cat "$workdir/h2"; exit 1; }
+cmp "$workdir/r1.json" "$workdir/r2.json" \
+  || { echo "cache hit is not byte-identical to the original response"; exit 1; }
+
+echo "== rooftool -remote matches in-process summary bit for bit"
+"$workdir/rooftool" -remote "$base" -system "Gold 6148" -workloads dgemm \
+  -format summary >"$workdir/remote.txt" 2>/dev/null
+"$workdir/rooftool" -system "Gold 6148" -workloads dgemm -case-shards 1 \
+  -format summary >"$workdir/local.txt"
+cmp "$workdir/remote.txt" "$workdir/local.txt" \
+  || { echo "remote summary differs from in-process summary"; diff "$workdir/remote.txt" "$workdir/local.txt" || true; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "serve-smoke: OK"

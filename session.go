@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rooftune/internal/bench"
@@ -39,6 +40,7 @@ type settings struct {
 	stencilNY   int
 	serial      bool
 	caseShards  int
+	hostPar     int
 	progress    func(Event)
 	workloads   []string
 }
@@ -242,10 +244,10 @@ func WithSerial() Option {
 // costs buffer space, though a persistently slow one eventually
 // back-pressures the sweeps. Within one Run, events are delivered one at
 // a time in the order they were emitted (case-evaluated events from
-// concurrent sweeps or shard workers interleave in completion order);
-// delivery across concurrent Runs of one Session is serialised too. The
+// concurrent sweeps or shard workers interleave in completion order). The
 // drainer is closed and joined before Run returns, so no event arrives
-// after Run.
+// after Run; a Session executes one Run at a time (see ErrConcurrentRun),
+// so the callback never observes two runs' events interleaved.
 func WithProgress(fn func(Event)) Option {
 	return func(s *settings) error {
 		s.progress = fn
@@ -278,6 +280,32 @@ func WithCaseShards(n int) Option {
 	}
 }
 
+// WithHostParallelism caps the total host parallelism the session's run
+// assumes it owns (default: GOMAXPROCS, i.e. the whole machine; 0 keeps
+// the default). Both sweep-level concurrency and the adaptive case-shard
+// policy size their pools inside the cap, so N sessions sharing one host
+// under a serving tier's budget (each handed roughly GOMAXPROCS/N)
+// divide the machine instead of oversubscribing it N-fold. The cap never
+// changes which configurations win on a simulated target — concurrent
+// sweep schedules are bit-identical to serial by construction — and with
+// a pinned shard count (WithCaseShards(1) or any explicit n) the entire
+// Result is invariant too. Under the adaptive shard default the shard
+// pool is sized from the cap, so only the search-cost accounting
+// (SearchTime, PrunedCount, TotalSamples) can shift with it; serving
+// tiers that content-address Results pin the shard count for exactly
+// this reason. The cap is deliberately excluded from Fingerprint. On
+// native targets it also bounds the default kernel thread count when
+// WithThreads is unset. Negative caps are rejected.
+func WithHostParallelism(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return fmt.Errorf("rooftune: WithHostParallelism: negative parallelism %d", n)
+		}
+		s.hostPar = n
+		return nil
+	}
+}
+
 // WithWorkloads selects which registered workloads the session runs, in
 // order (default: "dgemm", "triad"). Unknown names are rejected at New.
 func WithWorkloads(names ...string) Option {
@@ -293,17 +321,27 @@ func WithWorkloads(names ...string) Option {
 // Session is a configured roofline build: a target (simulated system or
 // the native host), a set of workloads, and the tuning parameters their
 // sweeps run under. Sessions are created by New and executed by Run; a
-// Session may be Run any number of times — every run plans fresh engines,
-// so simulated runs with equal seeds are bit-identical.
+// Session may be Run any number of times sequentially — every run plans
+// fresh engines, so simulated runs with equal seeds are bit-identical
+// (TestSessionRerunDeterministic). A Session executes at most one Run at
+// a time: a second Run starting while another is in flight fails loudly
+// with ErrConcurrentRun rather than silently double-running (on a native
+// target two concurrent runs would contend on the wall clock and corrupt
+// both measurements; a serving tier that wants concurrency creates one
+// Session per job).
 type Session struct {
 	cfg       settings
 	workloads []Workload
-	// progressMu serialises progress-event delivery across concurrent
-	// Runs of one Session: each Run drains its own event channel with one
-	// goroutine, and that drainer holds this mutex around the WithProgress
-	// callback so the callback never runs twice at once.
-	progressMu sync.Mutex
+	// running guards the one-Run-at-a-time contract; see ErrConcurrentRun.
+	running atomic.Bool
 }
+
+// ErrConcurrentRun is returned by Run when the Session is already
+// executing another Run. Sessions are cheap to construct — callers that
+// need concurrent tuning runs build one Session per run instead of
+// sharing one (shared native runs would contend on the host wall clock,
+// and shared progress streams would interleave unrelated runs' events).
+var ErrConcurrentRun = errors.New("rooftune: Session already has a Run in flight; create one Session per concurrent run")
 
 // New builds a Session from functional options. It fails fast: unknown
 // systems and workloads, inverted TRIAD bounds, negative thread counts
@@ -469,11 +507,18 @@ func (s *Session) plan(target workload.Target, res *Result, emit func(Event)) ([
 // Run plans every workload's sweeps, executes the plan graph, and
 // assembles the tuned roofline. Cancelling ctx aborts the run between
 // kernel executions and returns ctx.Err(); no partial Result is produced,
-// and no sweep goroutine outlives the call.
+// and no sweep goroutine outlives the call. A Run that starts while
+// another Run of the same Session is still in flight fails immediately
+// with ErrConcurrentRun; sequential re-runs are always allowed and,
+// on simulated targets, bit-identical.
 func (s *Session) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if !s.running.CompareAndSwap(false, true) {
+		return nil, ErrConcurrentRun
+	}
+	defer s.running.Store(false)
 	emit, stopEvents := s.startEvents()
 	// Every sweep goroutine is joined before runner.RunPlan returns, so by
 	// the time this defer closes the channel no sender remains; the join
@@ -498,6 +543,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		Order:      core.OrderForward,
 		Serial:     s.cfg.serial || s.cfg.native,
 		CaseShards: s.cfg.caseShards,
+		Host:       s.cfg.hostPar,
 	}
 	if s.cfg.native {
 		// Native measurement is wall-clock: shard workers would contend
@@ -568,7 +614,13 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 // simulated engines are created inside each planned sweep anyway.
 func (s *Session) target() (workload.Target, *Result) {
 	if s.cfg.native {
-		eng := bench.NewNativeEngine(s.cfg.threads)
+		threads := s.cfg.threads
+		if threads == 0 && s.cfg.hostPar > 0 {
+			// The host-parallelism budget bounds the default kernel
+			// thread count too; an explicit WithThreads still wins.
+			threads = s.cfg.hostPar
+		}
+		eng := bench.NewNativeEngine(threads)
 		return workload.Target{Native: eng}, &Result{SystemName: "host", Engine: eng.Name()}
 	}
 	sys := s.cfg.sys
@@ -728,12 +780,10 @@ func (s *Session) startEvents() (emit func(Event), stop func()) {
 	//rooflint:allow nogoroutine -- the documented per-Run event drainer; stop closes ch and joins it before Run returns
 	go func() {
 		defer close(done)
+		// Within one Run this drainer is the sole deliverer, and the
+		// one-Run-at-a-time guard means no other Run's drainer exists.
 		for ev := range ch {
-			// The mutex only serialises against other Runs of this
-			// Session; within one Run this drainer is the sole deliverer.
-			s.progressMu.Lock()
 			fn(ev)
-			s.progressMu.Unlock()
 		}
 	}()
 	var once sync.Once

@@ -1,0 +1,240 @@
+package rooftune
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rooftune/internal/bench"
+	"rooftune/internal/core"
+	"rooftune/internal/units"
+)
+
+// resultWireSchema versions Result's JSON encoding. Decoders reject any
+// other value: a serving tier and its clients must agree on the schema
+// byte for byte, and a silent best-effort decode of a future schema
+// would surface as subtly wrong numbers rather than an error.
+const resultWireSchema = "rooftune/result/v1"
+
+// computePointWire mirrors ComputePoint field for field. Throughput,
+// intensity and durations are float64/int64 in JSON, which round-trips
+// them exactly — the serving tier's byte-identity guarantee rests on it.
+type computePointWire struct {
+	Label       string          `json:"label,omitempty"`
+	Sockets     int             `json:"sockets"`
+	Dims        *dimsWire       `json:"dims,omitempty"`
+	Config      json.RawMessage `json:"config,omitempty"`
+	Desc        string          `json:"desc,omitempty"`
+	Flops       float64         `json:"flops"`
+	Intensity   float64         `json:"intensity,omitempty"`
+	Theoretical float64         `json:"theoretical,omitempty"`
+}
+
+type dimsWire struct {
+	N int `json:"n"`
+	M int `json:"m"`
+	K int `json:"k"`
+}
+
+type memoryPointWire struct {
+	Sockets     int     `json:"sockets"`
+	Region      string  `json:"region"`
+	Elements    int     `json:"elements"`
+	Bandwidth   float64 `json:"bandwidth"`
+	Theoretical float64 `json:"theoretical,omitempty"`
+}
+
+// resultWire is Result's complete wire form. Roofline is deliberately
+// absent: the model is a pure function of the points (assembleRoofline),
+// so the decoder rebuilds it instead of trusting the sender — a tampered
+// or stale serialized model can never disagree with its own points.
+type resultWire struct {
+	Schema     string             `json:"schema"`
+	SystemName string             `json:"systemName"`
+	Engine     string             `json:"engine"`
+	Compute    []computePointWire `json:"compute,omitempty"`
+	Memory     []memoryPointWire  `json:"memory,omitempty"`
+	SearchNs   int64              `json:"searchNs"`
+	Warnings   []string           `json:"warnings,omitempty"`
+}
+
+// MarshalJSON encodes the Result under the versioned v1 wire schema.
+// The Roofline model is not serialized — decoders rebuild it from the
+// points — and the typed winning configurations travel through
+// bench.Config's own variant-tagged encoding, so every config the sum
+// type admits survives the round trip.
+func (r Result) MarshalJSON() ([]byte, error) {
+	w := resultWire{
+		Schema:     resultWireSchema,
+		SystemName: r.SystemName,
+		Engine:     r.Engine,
+		SearchNs:   int64(r.SearchTime),
+		Warnings:   r.Warnings,
+	}
+	for _, c := range r.Compute {
+		cw := computePointWire{
+			Label:       c.Label,
+			Sockets:     c.Sockets,
+			Desc:        c.Desc,
+			Flops:       float64(c.Flops),
+			Intensity:   float64(c.Intensity),
+			Theoretical: float64(c.Theoretical),
+		}
+		if c.Dims != (core.Dims{}) {
+			cw.Dims = &dimsWire{N: c.Dims.N, M: c.Dims.M, K: c.Dims.K}
+		}
+		if c.Config != nil {
+			raw, err := bench.MarshalConfig(c.Config)
+			if err != nil {
+				return nil, fmt.Errorf("rooftune: marshal Result: compute point %q: %w", c.Label, err)
+			}
+			cw.Config = raw
+		}
+		w.Compute = append(w.Compute, cw)
+	}
+	for _, m := range r.Memory {
+		w.Memory = append(w.Memory, memoryPointWire{
+			Sockets:     m.Sockets,
+			Region:      m.Region,
+			Elements:    m.Elements,
+			Bandwidth:   float64(m.Bandwidth),
+			Theoretical: float64(m.Theoretical),
+		})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a v1-schema Result and rebuilds the Roofline
+// model from the decoded points. Any other schema string is an error,
+// including the empty one.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("rooftune: unmarshal Result: %w", err)
+	}
+	if w.Schema != resultWireSchema {
+		return fmt.Errorf("rooftune: unmarshal Result: schema %q, want %q", w.Schema, resultWireSchema)
+	}
+	out := Result{
+		SystemName: w.SystemName,
+		Engine:     w.Engine,
+		SearchTime: time.Duration(w.SearchNs),
+		Warnings:   w.Warnings,
+	}
+	for _, cw := range w.Compute {
+		c := ComputePoint{
+			Label:       cw.Label,
+			Sockets:     cw.Sockets,
+			Desc:        cw.Desc,
+			Flops:       units.Flops(cw.Flops),
+			Intensity:   units.Intensity(cw.Intensity),
+			Theoretical: units.Flops(cw.Theoretical),
+		}
+		if cw.Dims != nil {
+			c.Dims = core.Dims{N: cw.Dims.N, M: cw.Dims.M, K: cw.Dims.K}
+		}
+		if len(cw.Config) > 0 {
+			cfg, err := bench.UnmarshalConfig(cw.Config)
+			if err != nil {
+				return fmt.Errorf("rooftune: unmarshal Result: compute point %q: %w", cw.Label, err)
+			}
+			c.Config = cfg
+		}
+		out.Compute = append(out.Compute, c)
+	}
+	for _, mw := range w.Memory {
+		out.Memory = append(out.Memory, MemoryPoint{
+			Sockets:     mw.Sockets,
+			Region:      mw.Region,
+			Elements:    mw.Elements,
+			Bandwidth:   units.Bandwidth(mw.Bandwidth),
+			Theoretical: units.Bandwidth(mw.Theoretical),
+		})
+	}
+	out.Roofline = assembleRoofline(&out)
+	*r = out
+	return nil
+}
+
+// eventWire mirrors Event with the kind by name — the stable contract an
+// SSE stream's consumers parse, immune to reordering of the EventKind
+// constants.
+type eventWire struct {
+	Kind      string  `json:"kind"`
+	Sweep     string  `json:"sweep,omitempty"`
+	From      string  `json:"from,omitempty"`
+	Workload  string  `json:"workload,omitempty"`
+	Cases     int     `json:"cases,omitempty"`
+	Case      string  `json:"case,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Unit      string  `json:"unit,omitempty"`
+	Pruned    bool    `json:"pruned,omitempty"`
+	ElapsedNs int64   `json:"elapsedNs,omitempty"`
+	Warning   string  `json:"warning,omitempty"`
+}
+
+// eventKindNames maps each EventKind to its wire name; String() is for
+// humans and could legitimately drift, so the wire has its own table.
+var eventKindNames = map[EventKind]string{
+	EventSweepStarted:  "sweep-started",
+	EventCaseEvaluated: "case-evaluated",
+	EventSweepWon:      "sweep-won",
+	EventRegionEmpty:   "region-empty",
+	EventSweepSeeded:   "sweep-seeded",
+}
+
+// MarshalJSON encodes the event with its kind by name.
+func (e Event) MarshalJSON() ([]byte, error) {
+	kind, ok := eventKindNames[e.Kind]
+	if !ok {
+		return nil, fmt.Errorf("rooftune: marshal Event: unknown kind %d", int(e.Kind))
+	}
+	return json.Marshal(eventWire{
+		Kind:      kind,
+		Sweep:     e.Sweep,
+		From:      e.From,
+		Workload:  e.Workload,
+		Cases:     e.Cases,
+		Case:      e.Case,
+		Value:     e.Value,
+		Unit:      e.Unit,
+		Pruned:    e.Pruned,
+		ElapsedNs: int64(e.Elapsed),
+		Warning:   e.Warning,
+	})
+}
+
+// UnmarshalJSON decodes an event, rejecting unknown kind names.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("rooftune: unmarshal Event: %w", err)
+	}
+	kind, ok := eventKindByName(w.Kind)
+	if !ok {
+		return fmt.Errorf("rooftune: unmarshal Event: unknown kind %q", w.Kind)
+	}
+	*e = Event{
+		Kind:     kind,
+		Sweep:    w.Sweep,
+		From:     w.From,
+		Workload: w.Workload,
+		Cases:    w.Cases,
+		Case:     w.Case,
+		Value:    w.Value,
+		Unit:     w.Unit,
+		Pruned:   w.Pruned,
+		Elapsed:  time.Duration(w.ElapsedNs),
+		Warning:  w.Warning,
+	}
+	return nil
+}
+
+func eventKindByName(name string) (EventKind, bool) {
+	for k, n := range eventKindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
