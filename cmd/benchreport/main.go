@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -86,9 +87,19 @@ func main() {
 		if err != nil {
 			fail(fmt.Errorf("baseline: %w", err))
 		}
-		regressions, err := diff(parseNsPerOp(baseLines), parseNsPerOp(lines), *threshold, *warnOnly, os.Stdout)
+		regressions, err := diff(parseUnit(baseLines, "ns/op"), parseUnit(lines, "ns/op"), "ns/op", *threshold, *warnOnly, os.Stdout)
 		if err != nil {
 			fail(err)
+		}
+		// Benchmarks that b.ReportAllocs() are additionally gated on
+		// allocs/op — the noalloc analyzer's runtime counterpart. The
+		// counter is deterministic, so the same threshold is generous.
+		if baseAllocs := parseUnit(baseLines, "allocs/op"); len(baseAllocs) > 0 {
+			n, err := diff(baseAllocs, parseUnit(lines, "allocs/op"), "allocs/op", *threshold, *warnOnly, os.Stdout)
+			if err != nil {
+				fail(err)
+			}
+			regressions += n
 		}
 		if regressions > 0 && !*warnOnly {
 			fail(fmt.Errorf("%d regression(s) beyond %.0f%% — refresh BENCH_main.json if deliberate, or rerun with -warn-only",
@@ -177,11 +188,12 @@ func keep(line string) bool {
 // runs from hosts with different core counts still key together.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseNsPerOp extracts "pkg.Benchmark" -> ns/op from benchstat-format
-// result lines, keying on the preceding pkg: preamble so equally named
-// benchmarks in different packages never collide. A benchmark that
-// appears several times keeps its last value.
-func parseNsPerOp(lines []string) map[string]float64 {
+// parseUnit extracts "pkg.Benchmark" -> the named measure ("ns/op",
+// "allocs/op", ...) from benchstat-format result lines, keying on the
+// preceding pkg: preamble so equally named benchmarks in different
+// packages never collide. A benchmark that appears several times keeps
+// its last value.
+func parseUnit(lines []string, unit string) map[string]float64 {
 	out := map[string]float64{}
 	pkg := ""
 	for _, line := range lines {
@@ -194,7 +206,7 @@ func parseNsPerOp(lines []string) map[string]float64 {
 			continue
 		}
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			if fields[i+1] != unit {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -215,7 +227,7 @@ func parseNsPerOp(lines []string) map[string]float64 {
 // regression beyond the threshold, and returns how many there were so
 // main can turn them into a failing exit. Benchmarks present on only
 // one side are listed, not treated as regressions.
-func diff(base, cur map[string]float64, threshold float64, warnOnly bool, w io.Writer) (int, error) {
+func diff(base, cur map[string]float64, unit string, threshold float64, warnOnly bool, w io.Writer) (int, error) {
 	if len(base) == 0 {
 		return 0, fmt.Errorf("baseline contains no benchmark results")
 	}
@@ -226,12 +238,20 @@ func diff(base, cur map[string]float64, threshold float64, warnOnly bool, w io.W
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "\nbaseline comparison (threshold %+.0f%%):\n", threshold*100)
-	fmt.Fprintf(w, "%-48s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "\nbaseline comparison on %s (threshold %+.0f%%):\n", unit, threshold*100)
+	fmt.Fprintf(w, "%-48s %14s %14s %8s\n", "benchmark", "base "+unit, "new "+unit, "delta")
 	regressions := 0
 	for _, name := range names {
 		b, c := base[name], cur[name]
-		delta := (c - b) / b
+		var delta float64
+		switch {
+		case b != 0:
+			delta = (c - b) / b
+		case c != 0:
+			// A zero baseline (an allocation-free benchmark) regressing
+			// to nonzero is always beyond any relative threshold.
+			delta = math.Inf(1)
+		}
 		mark := ""
 		if delta > threshold {
 			mark = "  <-- regression"
@@ -243,8 +263,8 @@ func diff(base, cur map[string]float64, threshold float64, warnOnly bool, w io.W
 			if warnOnly {
 				level = "warning"
 			}
-			fmt.Fprintf(w, "::%s title=bench regression::%s slowed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)\n",
-				level, name, delta*100, b, c, threshold*100)
+			fmt.Fprintf(w, "::%s title=bench regression::%s worsened %.1f%% (%.0f -> %.0f %s, threshold %.0f%%)\n",
+				level, name, delta*100, b, c, unit, threshold*100)
 		}
 		fmt.Fprintf(w, "%-48s %14.0f %14.0f %+7.1f%%%s\n", name, b, c, delta*100, mark)
 	}

@@ -88,10 +88,13 @@ func NewEvaluator(clock vclock.Clock, budget Budget) *Evaluator {
 // Cancelling ctx aborts the evaluation between kernel executions — after
 // at most one more Step — and returns ctx.Err(); the partial outcome is
 // discarded, never reported as a measurement.
+//
+//rooflint:hotpath
 func (e *Evaluator) Evaluate(ctx context.Context, c Case, inc Incumbent) (*Outcome, error) {
 	best := inc.Bound()
 	b := e.Budget.normalized()
 	out := &Outcome{Key: c.Key(), Config: c.Config(), Describe: c.Describe(), Metric: c.Metric()}
+	out.Invocations = make([]InvocationResult, 0, b.Invocations)
 	watch := vclock.NewStopwatch(e.Clock)
 
 	var (
@@ -147,6 +150,8 @@ func (e *Evaluator) Evaluate(ctx context.Context, c Case, inc Incumbent) (*Outco
 // timeLeft is the remaining measured-time allowance for this invocation
 // (already scoped by the caller). At least one iteration always runs, so
 // every invocation produces a mean.
+//
+//rooflint:hotpath
 func (e *Evaluator) runIteration(ctx context.Context, key string, invocation int, inst Instance, b Budget, best float64, timeLeft time.Duration) InvocationResult {
 	inst.Warmup()
 
@@ -157,6 +162,12 @@ func (e *Evaluator) runIteration(ctx context.Context, key string, invocation int
 		samples  []float64 // retained only for the median extension
 		detector *stats.SteadyDetector
 	)
+	if b.UseMedian {
+		// Sized to the iteration cap up front: the median rule keeps every
+		// steady sample, and growing the slice mid-loop would charge
+		// allocator time to the measured stream.
+		samples = make([]float64, 0, b.MaxIterations)
+	}
 	if b.UseSteadyState {
 		detector = stats.NewSteadyDetector(b.SteadyWindow, b.SteadyThreshold)
 	}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rooftune/internal/vclock"
+)
+
+// The BenchmarkEvaluate family pins the evaluator's harness overhead:
+// ns/op for the fixed-shape evaluation below and — via b.ReportAllocs —
+// allocs/op, the runtime counterpart of the noalloc analyzer. CI diffs
+// both against the committed BENCH_main.json baseline, so an allocation
+// creeping into the invocation/iteration loops fails the bench job even
+// if it slips past the static pattern check. The scripted case runs on
+// a virtual clock: every run measures exactly Invocations x
+// MaxIterations scripted steps, so the counters are stable.
+
+// benchEvaluateBudget is a deterministic evaluation shape: statistical
+// stops off, so every invocation runs its full iteration count.
+func benchEvaluateBudget(median, steady bool) Budget {
+	b := DefaultBudget()
+	b.Invocations = 10
+	b.MaxIterations = 100
+	b.UseMedian = median
+	b.UseSteadyState = steady
+	return b
+}
+
+func benchmarkEvaluate(b *testing.B, budget Budget) {
+	clock := vclock.NewVirtual()
+	e := NewEvaluator(clock, budget)
+	c := constantCase(clock, time.Millisecond)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(ctx, c, None); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	benchmarkEvaluate(b, benchEvaluateBudget(false, false))
+}
+
+func BenchmarkEvaluateMedian(b *testing.B) {
+	benchmarkEvaluate(b, benchEvaluateBudget(true, false))
+}
+
+func BenchmarkEvaluateSteadyState(b *testing.B) {
+	benchmarkEvaluate(b, benchEvaluateBudget(false, true))
+}
+
+// BenchmarkEvaluatePruned exercises the bound-pruned path: an incumbent
+// far above the case's performance stops every invocation at MinCount
+// iterations and outer-prunes the configuration.
+func BenchmarkEvaluatePruned(b *testing.B) {
+	budget := benchEvaluateBudget(false, false)
+	budget.UseInnerBound = true
+	budget.UseOuterBound = true
+	clock := vclock.NewVirtual()
+	e := NewEvaluator(clock, budget)
+	c := constantCase(clock, time.Millisecond)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(ctx, c, Fixed(1e15)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

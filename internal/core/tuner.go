@@ -184,6 +184,8 @@ func (t *Tuner) Run(ctx context.Context, cases []bench.Case) (*Result, error) {
 // runSerial is the strictly serial evaluation loop: the incumbent is a
 // plain scalar carried case to case, bit-identical to the original
 // implementation (the compatibility shims ride on this path).
+//
+//rooflint:hotpath
 func (t *Tuner) runSerial(ctx context.Context, ordered []bench.Case) ([]*bench.Outcome, error) {
 	outs := make([]*bench.Outcome, 0, len(ordered))
 	best := t.seedBound()
@@ -281,6 +283,8 @@ func (t *Tuner) runSharded(ctx context.Context, ordered []bench.Case) ([]*bench.
 // makes the sharded search's winner provably tie-break like the serial
 // one: the first outcome with the strictly highest non-pruned mean wins,
 // whatever order evaluations completed in.
+//
+//rooflint:hotpath
 func assembleResult(outs []*bench.Outcome) *Result {
 	res := &Result{All: outs}
 	best := bench.NoBest

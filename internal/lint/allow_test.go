@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"testing"
+
+	"rooftune/internal/lint/analysis"
+)
+
+// fakeAnalyzer reports on every package-level ValueSpec, so the fixture
+// can place //rooflint:allow annotations above some and not others.
+func fakeAnalyzer(name string) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: name,
+		Doc:  "test fake: flags every value spec",
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if vs, ok := n.(*ast.ValueSpec); ok {
+						pass.Reportf(vs.Pos(), "flagged by %s", name)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// TestAllowMultipleAnalyzers proves one annotation line naming several
+// analyzers suppresses each of them — and only them — on the line
+// below: alpha and beta are silenced at the sanctioned spec, gamma is
+// not, and all three still fire on the unannotated spec.
+func TestAllowMultipleAnalyzers(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/allowmulti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, []*analysis.Analyzer{
+		fakeAnalyzer("alpha"), fakeAnalyzer("beta"), fakeAnalyzer("gamma"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d", d.Analyzer, d.Pos.Line)] = true
+	}
+	const sanctionedLine, plainLine = 7, 8
+	want := map[string]bool{
+		fmt.Sprintf("gamma:%d", sanctionedLine): true, // not named by the annotation
+		fmt.Sprintf("alpha:%d", plainLine):      true,
+		fmt.Sprintf("beta:%d", plainLine):       true,
+		fmt.Sprintf("gamma:%d", plainLine):      true,
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("expected finding %s, got none", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected finding %s (suppression leaked or missed)", k)
+		}
+	}
+}
+
+// TestLoadTagsSelectsTaggedFiles proves the -tags plumbing: a package
+// whose only file sits behind a build tag fails a plain Load (build
+// constraints exclude all files) and loads under LoadTags.
+func TestLoadTagsSelectsTaggedFiles(t *testing.T) {
+	if _, err := Load(".", "./testdata/src/tagged"); err == nil {
+		t.Fatal("untagged load of a fully-tagged package unexpectedly succeeded")
+	}
+	pkgs, err := LoadTags(".", "rooflinttagged", "./testdata/src/tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].Types.Scope().Lookup("Tagged") == nil {
+		t.Fatal("tagged file's Tagged const not in scope: -tags did not reach go list")
+	}
+}

@@ -1,0 +1,81 @@
+package apisurface_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"rooftune/internal/lint"
+	"rooftune/internal/lint/analysis"
+	"rooftune/internal/lint/apisurface"
+	"rooftune/internal/lint/golden"
+	"rooftune/internal/lint/linttest"
+)
+
+// TestAPISurface runs the fixture tree: the ok package matches its
+// golden (no findings), the stale package exercises all three drift
+// classes via want comments.
+func TestAPISurface(t *testing.T) {
+	linttest.Run(t, apisurface.Analyzer, "./testdata/src/api/...")
+}
+
+// TestWriteGoldensHeals proves the documented workflow: a stale golden
+// fails, rooflint -write-goldens (golden.WriteMode) regenerates it, and
+// the same tree then checks clean. The committed fixtures are restored
+// afterwards. It also proves write mode is idempotent on a clean tree:
+// the ok fixture's golden must come back byte-identical.
+func TestWriteGoldensHeals(t *testing.T) {
+	paths := []string{
+		"testdata/src/api/ok/rooftune/api/rooftune.txt",
+		"testdata/src/api/stale/rooftune/api/rooftune.txt",
+	}
+	saved := map[string][]byte{}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[p] = b
+	}
+	defer func() {
+		golden.WriteMode = false
+		for p, b := range saved {
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Errorf("restoring %s: %v", p, err)
+			}
+		}
+	}()
+
+	pkgs, err := lint.Load(".", "./testdata/src/api/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []lint.Diag {
+		diags, err := lint.Run(pkgs, []*analysis.Analyzer{apisurface.Analyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	if diags := run(); len(diags) == 0 {
+		t.Fatal("stale fixture produced no findings before -write-goldens")
+	}
+
+	golden.WriteMode = true
+	if diags := run(); len(diags) != 0 {
+		t.Fatalf("write mode reported findings: %v", diags)
+	}
+	golden.WriteMode = false
+
+	if diags := run(); len(diags) != 0 {
+		t.Errorf("tree still dirty after -write-goldens: %v", diags)
+	}
+	now, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(now, saved[paths[0]]) {
+		t.Errorf("write mode rewrote the clean golden differently:\n got: %s\nwant: %s", now, saved[paths[0]])
+	}
+}

@@ -1,0 +1,35 @@
+// Package rooftune is a fixture root package whose exported surface
+// matches its committed api/rooftune.txt golden exactly: no findings.
+package rooftune
+
+// Version pins the fixture contract.
+const Version = "v1"
+
+// Limit is an exported var.
+var Limit int
+
+// Runner is an exported interface.
+type Runner interface {
+	Run(n int) error
+	stop()
+}
+
+// Session is an exported struct with one exported and one unexported
+// field; only the exported field is surface.
+type Session struct {
+	Name   string
+	budget int
+}
+
+// Run implements Runner.
+func (s *Session) Run(n int) error { return nil }
+
+func (s *Session) stop() {}
+
+// New constructs a Session.
+func New(name string) *Session { return &Session{Name: name} }
+
+// helper is unexported: not surface.
+func helper() {}
+
+var _ = helper

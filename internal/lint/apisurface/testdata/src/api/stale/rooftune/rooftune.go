@@ -1,0 +1,19 @@
+// Package rooftune is a fixture root package whose golden is stale in
+// all three ways: it still lists a deleted func (removal), it records
+// Limit with its old type (retype), and it does not know Extra yet
+// (undeclared addition).
+package rooftune // want `exported symbol removed from the API surface: "func Dropped = \(\) error"`
+
+// Limit changed type since the golden was written.
+var Limit string // want `exported symbol changed: var Limit is now "string", golden api/rooftune.txt has "int"`
+
+// Session matches the golden.
+type Session struct {
+	Name string
+}
+
+// New matches the golden.
+func New(name string) *Session { return &Session{Name: name} }
+
+// Extra postdates the golden.
+func Extra() {} // want `exported symbol "func Extra = \(\)" not in the API golden; declare the addition with rooflint -write-goldens`

@@ -64,10 +64,18 @@ type listPackage struct {
 // `go list -export`, so loading needs no network and no GOPATH source
 // layout, only the toolchain that built the module.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadTags(dir, "", patterns...)
+}
+
+// LoadTags is Load with an explicit build-tag list (comma-separated, as
+// `go build -tags` takes it). The tags reach `go list`, so a fixture or
+// future production file behind a build constraint is selected — and
+// type-checked — exactly as the tagged build would compile it.
+func LoadTags(dir, tags string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	metas, err := goList(dir, patterns)
+	metas, err := goList(dir, tags, patterns)
 	if err != nil {
 		return nil, err
 	}
@@ -116,12 +124,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // goList shells out to `go list -test -deps -export` and decodes the
 // JSON stream. A package that fails to build fails the load: linting a
 // tree that does not compile would silently skip the broken invariants.
-func goList(dir string, patterns []string) ([]*listPackage, error) {
+func goList(dir, tags string, patterns []string) ([]*listPackage, error) {
 	args := []string{
 		"list", "-test", "-deps", "-export",
 		"-json=ImportPath,Dir,Export,Standard,DepOnly,ForTest,Name,GoFiles,ImportMap,Error",
-		"--",
 	}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, "--")
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/linttest"
+	"rooftune/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "./testdata/src/...")
+}

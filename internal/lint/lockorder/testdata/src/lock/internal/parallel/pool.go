@@ -1,0 +1,119 @@
+// Package parallel is a fixture standing in for rooftune/internal/parallel:
+// a pool whose lifecycle locks must follow one acquisition order and
+// must not be held across blocking operations.
+package parallel
+
+import "sync"
+
+// Pool carries two mutexes and a task channel, like the real pool.
+type Pool struct {
+	mu      sync.Mutex
+	closeMu sync.Mutex
+	tasks   chan func()
+	wg      sync.WaitGroup
+}
+
+// submitOrdered nests closeMu inside mu. On its own that fixes the
+// order; the edge becomes a finding only because closeReversed below
+// takes the two locks the other way around.
+func (p *Pool) submitOrdered() {
+	p.mu.Lock()
+	p.closeMu.Lock() // want `lock \(parallel\.Pool\)\.closeMu acquired while holding \(parallel\.Pool\)\.mu, but another path acquires them in the reverse order`
+	p.closeMu.Unlock()
+	p.mu.Unlock()
+}
+
+// closeReversed acquires the same pair in the opposite order: both
+// sites of the cycle are reported.
+func (p *Pool) closeReversed() {
+	p.closeMu.Lock()
+	p.mu.Lock() // want `lock \(parallel\.Pool\)\.mu acquired while holding \(parallel\.Pool\)\.closeMu, but another path acquires them in the reverse order`
+	p.mu.Unlock()
+	p.closeMu.Unlock()
+}
+
+// sendUnderLock blocks on a channel send with a lock held.
+func (p *Pool) sendUnderLock(v func()) {
+	p.closeMu.Lock()
+	p.tasks <- v // want `channel send while holding \(parallel\.Pool\)\.closeMu`
+	p.closeMu.Unlock()
+}
+
+// sendAllowed is the sanctioned exception: the annotation names the
+// invariant that makes the send non-blocking in practice.
+func (p *Pool) sendAllowed(v func()) {
+	p.closeMu.Lock()
+	//rooflint:allow lockorder -- a dedicated reader drains tasks until closeMu's holder closes it
+	p.tasks <- v
+	p.closeMu.Unlock()
+}
+
+// receiveUnderLock blocks on a channel receive with a lock held.
+func (p *Pool) receiveUnderLock() func() {
+	p.mu.Lock()
+	v := <-p.tasks // want `channel receive while holding \(parallel\.Pool\)\.mu`
+	p.mu.Unlock()
+	return v
+}
+
+// waitUnderLock joins the worker group with a lock held.
+func (p *Pool) waitUnderLock() {
+	p.mu.Lock()
+	p.wg.Wait() // want `sync\.WaitGroup\.Wait while holding \(parallel\.Pool\)\.mu`
+	p.mu.Unlock()
+}
+
+// selectUnderLock blocks in a defaultless select with a lock held.
+func (p *Pool) selectUnderLock() {
+	p.mu.Lock()
+	select { // want `select while holding \(parallel\.Pool\)\.mu`
+	case t := <-p.tasks:
+		_ = t
+	}
+	p.mu.Unlock()
+}
+
+// pollUnderLock is fine: the default clause makes the select a poll.
+func (p *Pool) pollUnderLock() {
+	p.mu.Lock()
+	select {
+	case t := <-p.tasks:
+		_ = t
+	default:
+	}
+	p.mu.Unlock()
+}
+
+// spawn is fine: the goroutine body starts with nothing held, so its
+// receive does not run under mu.
+func (p *Pool) spawn() {
+	p.mu.Lock()
+	go func() {
+		t := <-p.tasks
+		_ = t
+	}()
+	p.mu.Unlock()
+}
+
+// sendAfterUnlock is fine: the lock is released before the send.
+func (p *Pool) sendAfterUnlock(v func()) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.tasks <- v
+}
+
+// deferredHold keeps mu held to function end via the deferred unlock,
+// so the send still runs under it.
+func (p *Pool) deferredHold(v func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tasks <- v // want `channel send while holding \(parallel\.Pool\)\.mu`
+}
+
+// reentrant locks a mutex it already holds.
+func (p *Pool) reentrant() {
+	p.mu.Lock()
+	p.mu.Lock() // want `lock \(parallel\.Pool\)\.mu acquired while already held on this path: self-deadlock`
+	p.mu.Unlock()
+	p.mu.Unlock()
+}

@@ -1,0 +1,25 @@
+// Package other is outside the lockorder scope: the same reversed
+// acquisitions produce no findings here, proving the analyzer is gated
+// to the serving tier and the pool.
+package other
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) forward() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) backward() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

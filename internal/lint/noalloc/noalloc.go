@@ -1,0 +1,308 @@
+// Package noalloc flags per-iteration allocation patterns inside
+// functions annotated //rooflint:hotpath.
+//
+// The roofline pipeline's credibility rests on the evaluator's inner
+// loops measuring the kernel, not the harness: a per-invocation
+// fmt.Sprintf or an append that regrows its backing array injects
+// allocator noise straight into the sample stream the confidence
+// intervals are computed from (and the inference-sim roofline work in
+// SNIPPETS.md shows measured trajectories bending down exactly when hot
+// loops allocate). The annotation is opt-in — //rooflint:hotpath on a
+// function's doc comment — because a blanket no-allocation rule over
+// the whole tree would drown real signal in cold-path noise. Inside an
+// annotated function the analyzer reports:
+//
+//   - append in a loop to a slice that is never preallocated with a
+//     3-arg make (capacity) in the function;
+//   - fmt.Sprintf / fmt.Sprint / fmt.Sprintln and string concatenation
+//     producing a string inside a loop (fmt.Errorf is exempt: error
+//     construction is the cold abort path);
+//   - function literals created inside a loop (one closure allocation
+//     per iteration).
+//
+// Sanctioned exceptions carry //rooflint:allow noalloc with the reason.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rooftune/internal/lint/analysis"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "no per-iteration allocation patterns in //rooflint:hotpath functions\n\n" +
+		"Inside annotated functions: append in a loop needs a capacity-preallocated\n" +
+		"slice, fmt string formatting and string concatenation must be hoisted out of\n" +
+		"loops, and closures must not be created per iteration.",
+	Run: run,
+}
+
+// marker is the annotation (on the function's doc comment) opting its
+// body into the no-allocation discipline.
+const marker = "rooflint:hotpath"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //rooflint:hotpath marker.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc scans one annotated function: first collect the slices the
+// function preallocates with capacity anywhere in its body (the
+// discipline is flow-insensitive on purpose — make with capacity
+// before the loop is the idiom being enforced), then walk the body
+// flagging allocation patterns inside loops.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	prealloc := preallocated(pass, fd.Body)
+	walk(pass, fd.Body, 0, prealloc)
+}
+
+// preallocated collects the objects assigned from a make call with an
+// explicit capacity (make([]T, n, c) or make([]T, 0, c)'s two- and
+// three-arg forms with a capacity argument) anywhere in the body.
+func preallocated(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) < 3 {
+			return
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "make" {
+			return
+		}
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil && obj.Parent() != types.Universe {
+			return // shadowed make
+		}
+		// The appended target is identified the same way checkAppend does:
+		// a local by its object, a struct field (out.Invocations) by the
+		// field's object.
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if obj := objectOf(pass, l); obj != nil {
+				out[obj] = true
+			}
+		case *ast.SelectorExpr:
+			if obj := pass.TypesInfo.Uses[l.Sel]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) {
+					record(s.Lhs[i], rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range s.Values {
+				if i < len(s.Names) {
+					record(s.Names[i], rhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// walk scans stmts tracking loop depth; depth > 0 means "inside a loop
+// of the annotated function" and arms the per-iteration checks.
+func walk(pass *analysis.Pass, n ast.Node, depth int, prealloc map[types.Object]bool) {
+	switch s := n.(type) {
+	case *ast.ForStmt:
+		walkParts(pass, depth, prealloc, s.Init, s.Cond, s.Post)
+		walk(pass, s.Body, depth+1, prealloc)
+		return
+	case *ast.RangeStmt:
+		walkParts(pass, depth, prealloc, s.X)
+		walk(pass, s.Body, depth+1, prealloc)
+		return
+	case *ast.FuncLit:
+		if depth > 0 {
+			pass.Reportf(s.Pos(),
+				"closure created inside a hot-path loop allocates every iteration; hoist it out of the loop or pass a method value")
+		}
+		// The literal's own body starts a fresh function: loops inside it
+		// are its loops.
+		walk(pass, s.Body, 0, prealloc)
+		return
+	case *ast.CallExpr:
+		if depth > 0 {
+			checkCall(pass, s)
+		}
+	case *ast.AssignStmt:
+		if depth > 0 {
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) {
+					checkAppend(pass, s.Lhs[i], rhs, prealloc)
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		if depth > 0 && s.Op == token.ADD && isString(pass, s) && !constantExpr(pass, s) {
+			pass.Reportf(s.OpPos,
+				"string concatenation inside a hot-path loop allocates; build the string once outside the loop or use a preallocated buffer")
+		}
+	case nil:
+		return
+	}
+	children(n, func(c ast.Node) {
+		walk(pass, c, depth, prealloc)
+	})
+}
+
+// walkParts scans loop header parts (init/cond/post, range operand) at
+// the surrounding depth.
+func walkParts(pass *analysis.Pass, depth int, prealloc map[types.Object]bool, parts ...ast.Node) {
+	for _, p := range parts {
+		if p != nil && !isNilNode(p) {
+			walk(pass, p, depth, prealloc)
+		}
+	}
+}
+
+// isNilNode guards against typed-nil ast.Node values from optional
+// fields (a nil *ast.ExprStmt boxed in ast.Node is non-nil).
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// checkCall flags per-iteration fmt string formatting. fmt.Errorf is
+// exempt: constructing the error that aborts the measurement is the
+// cold path.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return
+	}
+	switch obj.Name() {
+	case "Sprintf", "Sprint", "Sprintln":
+		pass.Reportf(call.Pos(),
+			"fmt.%s inside a hot-path loop allocates every iteration; hoist the formatting out of the loop",
+			obj.Name())
+	}
+}
+
+// checkAppend flags x = append(x, ...) in a loop when x is never
+// preallocated with capacity in this function.
+func checkAppend(pass *analysis.Pass, lhs, rhs ast.Expr, prealloc map[types.Object]bool) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return
+	}
+	if obj := pass.TypesInfo.Uses[fun]; obj != nil && obj.Parent() != types.Universe {
+		return // shadowed append
+	}
+	// Identify the appended slice by the LHS identifier; appends into
+	// struct fields (out.Invocations = append(...)) are identified by
+	// the field object.
+	var obj types.Object
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		obj = objectOf(pass, l)
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[l.Sel]
+	}
+	if obj == nil || prealloc[obj] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"append to %s inside a hot-path loop without preallocation; size it with make(T, 0, n) before the loop", appendTarget(lhs))
+}
+
+// appendTarget renders the appended slice for the message.
+func appendTarget(lhs ast.Expr) string {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		return l.Name
+	case *ast.SelectorExpr:
+		if id, ok := l.X.(*ast.Ident); ok {
+			return id.Name + "." + l.Sel.Name
+		}
+		return l.Sel.Name
+	}
+	return "slice"
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// constantExpr reports a compile-time constant (concatenating string
+// literals does not allocate at run time).
+func constantExpr(pass *analysis.Pass, e ast.Expr) bool {
+	return pass.TypesInfo.Types[e].Value != nil
+}
+
+// children visits n's direct AST children (one level, no recursion).
+func children(n ast.Node, visit func(ast.Node)) {
+	if n == nil {
+		return
+	}
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}

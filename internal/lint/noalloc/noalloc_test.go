@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"rooftune/internal/lint/linttest"
+	"rooftune/internal/lint/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	linttest.Run(t, noalloc.Analyzer, "./testdata/src/...")
+}

@@ -1,0 +1,126 @@
+// Package hot exercises the noalloc hot-path discipline: only functions
+// annotated //rooflint:hotpath are checked, and inside them loops must
+// not allocate per iteration.
+package hot
+
+import "fmt"
+
+// evaluate appends without preallocating.
+//
+//rooflint:hotpath
+func evaluate(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want `append to out inside a hot-path loop without preallocation`
+	}
+	return out
+}
+
+// evaluatePrealloc sizes the slice before the loop: clean.
+//
+//rooflint:hotpath
+func evaluatePrealloc(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// format allocates a fresh string per iteration.
+//
+//rooflint:hotpath
+func format(xs []float64) []string {
+	out := make([]string, 0, len(xs))
+	for i, x := range xs {
+		out = append(out, fmt.Sprintf("x%d=%g", i, x)) // want `fmt\.Sprintf inside a hot-path loop`
+	}
+	return out
+}
+
+// join concatenates strings per iteration; the fmt.Errorf on the abort
+// path is exempt (errors are the cold path).
+//
+//rooflint:hotpath
+func join(names []string) (string, error) {
+	s := ""
+	for _, n := range names {
+		s = s + n // want `string concatenation inside a hot-path loop`
+		if n == "" {
+			return "", fmt.Errorf("empty name after %q", s)
+		}
+	}
+	return s, nil
+}
+
+// constparts is clean: concatenating constants folds at compile time.
+//
+//rooflint:hotpath
+func constparts(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, "a"+"b")
+	}
+	return out
+}
+
+// callbacks creates one closure per iteration.
+//
+//rooflint:hotpath
+func callbacks(xs []float64) []func() float64 {
+	out := make([]func() float64, 0, len(xs))
+	for _, x := range xs {
+		x := x
+		out = append(out, func() float64 { return x }) // want `closure created inside a hot-path loop`
+	}
+	return out
+}
+
+// fieldAppend appends into a struct field without preallocating it.
+//
+//rooflint:hotpath
+func fieldAppend(xs []float64) struct{ Samples []float64 } {
+	var acc struct{ Samples []float64 }
+	for _, x := range xs {
+		acc.Samples = append(acc.Samples, x) // want `append to acc\.Samples inside a hot-path loop without preallocation`
+	}
+	return acc
+}
+
+// fieldPrealloc sizes the struct field before the loop: clean.
+//
+//rooflint:hotpath
+func fieldPrealloc(xs []float64) struct{ Samples []float64 } {
+	var acc struct{ Samples []float64 }
+	acc.Samples = make([]float64, 0, len(xs))
+	for _, x := range xs {
+		acc.Samples = append(acc.Samples, x)
+	}
+	return acc
+}
+
+// allowed carries the sanctioned-exception annotation.
+//
+//rooflint:hotpath
+func allowed(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		//rooflint:allow noalloc -- callers bound xs to a handful of entries
+		out = append(out, x)
+	}
+	return out
+}
+
+// cold is not annotated: the same patterns produce no findings.
+func cold(xs []float64) []string {
+	var out []string
+	for i, x := range xs {
+		out = append(out, fmt.Sprintf("%d=%g", i, x))
+	}
+	return out
+}
+
+var _ = []any{
+	evaluate, evaluatePrealloc, format, join, constparts, callbacks,
+	fieldAppend, fieldPrealloc, allowed, cold,
+}

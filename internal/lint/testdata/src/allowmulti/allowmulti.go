@@ -1,0 +1,9 @@
+// Package allowmulti fixtures the //rooflint:allow annotation form that
+// names several analyzers on one line.
+package allowmulti
+
+var (
+	//rooflint:allow alpha beta -- one annotation line sanctions two analyzers
+	sanctioned = 1
+	plain      = 2
+)

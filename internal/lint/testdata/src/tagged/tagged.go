@@ -1,0 +1,8 @@
+//go:build rooflinttagged
+
+// Package tagged only builds under the rooflinttagged tag: it exists to
+// prove LoadTags plumbs -tags through go list.
+package tagged
+
+// Tagged proves the tag selected this file.
+const Tagged = true

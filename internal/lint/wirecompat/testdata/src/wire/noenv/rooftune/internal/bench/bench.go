@@ -1,0 +1,51 @@
+// Package bench is a fixture whose MarshalConfig forgot a variant: the
+// census cannot map SpareConfig to an envelope, which is reported
+// immediately (a config the wire layer cannot encode can never be
+// cached or served).
+package bench
+
+import "encoding/json"
+
+type Config interface {
+	isConfig()
+}
+
+type DGEMMConfig struct {
+	M int
+}
+
+func (DGEMMConfig) isConfig() {}
+
+// SpareConfig has no arm in MarshalConfig.
+type SpareConfig struct {
+	K int
+}
+
+func (SpareConfig) isConfig() {}
+
+type configWire struct {
+	Variant string          `json:"variant"`
+	Fields  json.RawMessage `json:"fields"`
+}
+
+type dgemmConfigWire struct {
+	M int `json:"m"`
+}
+
+// MarshalConfig misses SpareConfig.
+func MarshalConfig(c Config) ([]byte, error) { // want `bench\.Config variant SpareConfig has no wire envelope in MarshalConfig`
+	var (
+		variant string
+		fields  any
+	)
+	switch cfg := c.(type) {
+	case DGEMMConfig:
+		variant = "DGEMMConfig"
+		fields = dgemmConfigWire{M: cfg.M}
+	}
+	raw, err := json.Marshal(fields)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(configWire{Variant: variant, Fields: raw})
+}

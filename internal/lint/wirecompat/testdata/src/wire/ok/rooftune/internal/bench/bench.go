@@ -1,0 +1,67 @@
+// Package bench is a fixture mirroring rooftune/internal/bench's wire
+// layer: the closed Config sum, its wire envelopes, and MarshalConfig's
+// type switch mapping each variant to its envelope struct.
+package bench
+
+import "encoding/json"
+
+// Config is the closed sum.
+type Config interface {
+	isConfig()
+}
+
+// DGEMMConfig is one variant.
+type DGEMMConfig struct {
+	M int
+	N int
+}
+
+func (DGEMMConfig) isConfig() {}
+
+// TriadConfig is the other variant.
+type TriadConfig struct {
+	Elements int
+}
+
+func (TriadConfig) isConfig() {}
+
+// Outcome is censused both here and from the root fixture's walk.
+type Outcome struct {
+	Mean  float64 `json:"mean"`
+	Count int     `json:"count"`
+}
+
+type configWire struct {
+	Variant string          `json:"variant"`
+	Fields  json.RawMessage `json:"fields"`
+}
+
+type dgemmConfigWire struct {
+	M int `json:"m"`
+	N int `json:"n"`
+}
+
+type triadConfigWire struct {
+	Elements int `json:"elements"`
+}
+
+// MarshalConfig packs each variant into its wire envelope.
+func MarshalConfig(c Config) ([]byte, error) {
+	var (
+		variant string
+		fields  any
+	)
+	switch cfg := c.(type) {
+	case DGEMMConfig:
+		variant = "DGEMMConfig"
+		fields = dgemmConfigWire{M: cfg.M, N: cfg.N}
+	case TriadConfig:
+		variant = "TriadConfig"
+		fields = triadConfigWire{Elements: cfg.Elements}
+	}
+	raw, err := json.Marshal(fields)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(configWire{Variant: variant, Fields: raw})
+}

@@ -1,0 +1,25 @@
+// Package rooftune is a fixture root wire schema: package-level structs
+// with json tags are census roots, and the walk follows field types
+// across packages (bench.Outcome below).
+package rooftune
+
+import "rooftune/internal/lint/wirecompat/testdata/src/wire/ok/rooftune/internal/bench"
+
+type resultWire struct {
+	Schema  string        `json:"schema"`
+	Points  []pointWire   `json:"points"`
+	Best    bench.Outcome `json:"best,omitempty"`
+	private string
+}
+
+type pointWire struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Skip  string  `json:"-"`
+	NoTag int
+}
+
+// plain carries no json tags: not a census root.
+type plain struct {
+	X int
+}

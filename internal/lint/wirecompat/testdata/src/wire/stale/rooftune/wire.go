@@ -1,0 +1,15 @@
+// Package rooftune is a fixture whose wire golden is stale in all three
+// ways: it still lists a deleted field (removal), it records schema
+// with its old type (retype), and it does not know note yet
+// (undeclared addition).
+package rooftune // want `wire field removed from rooftune/result/v1: "rooftune pointWire\.label = string"`
+
+type resultWire struct { // want `wire field retyped: rooftune resultWire\.schema is now "int", golden api/wire_v1\.txt has "string"` `wire field "rooftune resultWire\.note = string" not in the wire golden; declare the addition with rooflint -write-goldens`
+	Schema int         `json:"schema"`
+	Note   string      `json:"note"`
+	Points []pointWire `json:"points"`
+}
+
+type pointWire struct {
+	Name string `json:"name"`
+}

@@ -1,0 +1,80 @@
+package wirecompat_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"rooftune/internal/lint"
+	"rooftune/internal/lint/analysis"
+	"rooftune/internal/lint/golden"
+	"rooftune/internal/lint/linttest"
+	"rooftune/internal/lint/wirecompat"
+)
+
+// TestWireCompat runs the fixture trees: ok matches its golden (both
+// sections, no findings), stale exercises the three drift classes, and
+// noenv exercises the missing-envelope census check.
+func TestWireCompat(t *testing.T) {
+	linttest.Run(t, wirecompat.Analyzer, "./testdata/src/wire/...")
+}
+
+// TestWriteGoldensHeals proves the stale fixture checks clean after
+// write mode regenerates its golden, and that write mode is idempotent
+// on the clean ok fixture (its two-section golden comes back
+// byte-identical). Committed fixtures are restored afterwards.
+func TestWriteGoldensHeals(t *testing.T) {
+	paths := []string{
+		"testdata/src/wire/ok/rooftune/api/wire_v1.txt",
+		"testdata/src/wire/stale/rooftune/api/wire_v1.txt",
+	}
+	saved := map[string][]byte{}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[p] = b
+	}
+	defer func() {
+		golden.WriteMode = false
+		for p, b := range saved {
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Errorf("restoring %s: %v", p, err)
+			}
+		}
+	}()
+
+	pkgs, err := lint.Load(".", "./testdata/src/wire/ok/...", "./testdata/src/wire/stale/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []lint.Diag {
+		diags, err := lint.Run(pkgs, []*analysis.Analyzer{wirecompat.Analyzer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	if diags := run(); len(diags) == 0 {
+		t.Fatal("stale fixture produced no findings before -write-goldens")
+	}
+
+	golden.WriteMode = true
+	if diags := run(); len(diags) != 0 {
+		t.Fatalf("write mode reported findings: %v", diags)
+	}
+	golden.WriteMode = false
+
+	if diags := run(); len(diags) != 0 {
+		t.Errorf("tree still dirty after -write-goldens: %v", diags)
+	}
+	now, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(now, saved[paths[0]]) {
+		t.Errorf("write mode rewrote the clean golden differently:\n got: %s\nwant: %s", now, saved[paths[0]])
+	}
+}

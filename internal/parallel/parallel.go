@@ -86,10 +86,19 @@ func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
 // OpenMP thread team persisting across parallel regions.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan task
 	wg      sync.WaitGroup // tracks in-flight tasks of the current batch
 	closeMu sync.Mutex
 	closed  bool
+}
+
+// task is one partition's work item. Batches enqueue plain structs
+// rather than per-partition closures, so Run allocates nothing per
+// range: the body function value is shared and the bounds travel by
+// value through the channel buffer.
+type task struct {
+	body   func(lo, hi int)
+	lo, hi int
 }
 
 // NewPool starts a pool with the given worker count (minimum 1).
@@ -97,11 +106,11 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, tasks: make(chan func(), workers)}
+	p := &Pool{workers: workers, tasks: make(chan task, workers)}
 	for i := 0; i < workers; i++ {
 		go func() {
-			for task := range p.tasks {
-				task()
+			for t := range p.tasks {
+				t.body(t.lo, t.hi)
 				p.wg.Done()
 			}
 		}()
@@ -118,6 +127,8 @@ func (p *Pool) Workers() int { return p.workers }
 // guard keeps a late caller from sending on the closed task channel and
 // panicking, and the return value keeps the dropped batch detectable so a
 // measurement site never silently records work that did not happen.
+//
+//rooflint:hotpath
 func (p *Pool) Run(n int, body func(lo, hi int)) bool {
 	if n <= 0 {
 		return true
@@ -132,8 +143,8 @@ func (p *Pool) Run(n int, body func(lo, hi int)) bool {
 	ranges := StaticPartition(n, p.workers)
 	p.wg.Add(len(ranges))
 	for _, r := range ranges {
-		r := r
-		p.tasks <- func() { body(r.Lo, r.Hi) }
+		//rooflint:allow lockorder -- the workers keep draining tasks while closeMu blocks Close, so the send cannot park forever
+		p.tasks <- task{body: body, lo: r.Lo, hi: r.Hi}
 	}
 	p.closeMu.Unlock()
 	p.wg.Wait()

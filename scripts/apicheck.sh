@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# apicheck.sh — the contract-stability gate, runnable locally exactly as
+# CI runs it (the contract-check job calls this script).
+#
+# Two phases:
+#
+#   1. Check: run the full rooflint suite (which includes apisurface and
+#      wirecompat) against the committed goldens under api/. Any drift —
+#      a removed or retyped export, a removed or retyped wire field, or
+#      an addition not yet recorded — is a finding and fails here.
+#
+#   2. Freshness: regenerate the goldens with -write-goldens and require
+#      `git diff` to come back empty. This catches the complementary
+#      failure mode: goldens that were hand-edited into a state the
+#      renderer would never produce, which phase 1 alone cannot see.
+#
+# To accept a deliberate, additive surface change:
+#
+#   go run ./cmd/rooflint -write-goldens ./...
+#   git add api/ && git commit
+#
+# Removals and retypes are breaking by policy (see README "Static
+# analysis"); regenerating the golden does not make them less breaking,
+# it records that a human decided to break the contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== apicheck: rooflint suite against committed goldens =="
+go run ./cmd/rooflint ./...
+
+echo "== apicheck: goldens regenerate byte-identically =="
+go run ./cmd/rooflint -write-goldens ./... >/dev/null
+if ! git diff --exit-code -- api/; then
+    echo "apicheck: committed goldens are stale — commit the regenerated api/ files" >&2
+    exit 1
+fi
+
+echo "apicheck: contract surface stable"
