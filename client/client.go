@@ -1,0 +1,433 @@
+// Package client is the typed consumer of the roofserved HTTP API: it
+// speaks the versioned rooftune/serve/v1 wire contract, decodes Results
+// and progress events into the library's own types, and turns the
+// daemon's structured error envelope into typed errors a caller can
+// dispatch on.
+//
+// The client is overload-aware by default: requests refused with 429
+// (admission shed) or 503 are retried a bounded number of times with
+// backoff, honoring the daemon's Retry-After hint when one is present.
+// Callers that want to observe shedding raw disable retries with
+// WithRetries(0) and inspect the returned *Error.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rooftune"
+	servev1 "rooftune/serve/v1"
+)
+
+// Error is a typed daemon refusal: the HTTP status plus the structured
+// servev1 error envelope the daemon sent with it.
+type Error struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the daemon's stable error classification (empty if the
+	// response carried no parseable envelope).
+	Code servev1.ErrorCode
+	// Message is the human-readable detail.
+	Message string
+	// RetryAfter is the daemon's resubmission hint, when it sent one.
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("roofserved: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("roofserved: %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether the refusal is load-induced and worth
+// retrying: an admission shed (429) or an unavailable daemon (503).
+func (e *Error) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithClientID sets the identifier sent as the X-Roofserve-Client
+// header on every request — the key the daemon's per-client fair
+// queuing buckets this client under.
+func WithClientID(id string) Option {
+	return func(c *Client) { c.clientID = id }
+}
+
+// WithHTTPClient substitutes the underlying HTTP client (custom
+// transports, timeouts, test doubles).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithRetries bounds how many times a Temporary refusal (429/503) is
+// retried before it is returned to the caller (default 2; 0 disables
+// retrying).
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithBackoff sets the base delay between retries when the daemon sent
+// no Retry-After hint; the delay doubles per attempt (default 250ms).
+func WithBackoff(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// WithPollInterval sets how often Wait polls a job's status
+// (default 50ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.poll = d
+		}
+	}
+}
+
+// Client talks to one roofserved daemon.
+type Client struct {
+	base     string
+	http     *http.Client
+	clientID string
+	retries  int
+	backoff  time.Duration
+	poll     time.Duration
+}
+
+// New builds a client for the daemon at base (scheme optional; bare
+// host:port gets http://).
+func New(base string, opts ...Option) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    http.DefaultClient,
+		retries: 2,
+		backoff: 250 * time.Millisecond,
+		poll:    50 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// TuneResponse is a synchronous tuning answer: the decoded Result plus
+// the wire facts a caller may assert on.
+type TuneResponse struct {
+	// Result is the decoded rooftune/result/v1 payload.
+	Result *rooftune.Result
+	// Raw is the response body verbatim — on a cache hit these are the
+	// exact stored bytes, byte-identical across requests.
+	Raw []byte
+	// Cached reports the X-Roofserve-Cache disposition.
+	Cached bool
+	// Fingerprint is the campaign's content address.
+	Fingerprint string
+	// Job is the job that produced the response (empty on a cache hit).
+	Job string
+}
+
+// Tune runs a campaign synchronously (POST /v1/tune): the call blocks
+// until the daemon answers from its cache or finishes the run.
+func (c *Client) Tune(ctx context.Context, campaign servev1.Campaign) (*TuneResponse, error) {
+	var out *TuneResponse
+	err := c.withRetry(ctx, func() error {
+		resp, body, err := c.postJSON(ctx, "/v1/tune", campaign)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return responseError(resp, body)
+		}
+		var res rooftune.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			return fmt.Errorf("client: decode result: %w", err)
+		}
+		out = &TuneResponse{
+			Result:      &res,
+			Raw:         body,
+			Cached:      resp.Header.Get(servev1.CacheHeader) == "hit",
+			Fingerprint: resp.Header.Get(servev1.FingerprintHeader),
+			Job:         resp.Header.Get(servev1.JobHeader),
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Submit starts a campaign asynchronously (POST /v1/jobs) and returns
+// its job handle; poll with Status/Wait or stream with Events.
+func (c *Client) Submit(ctx context.Context, campaign servev1.Campaign) (servev1.JobStatus, error) {
+	var out servev1.JobStatus
+	err := c.withRetry(ctx, func() error {
+		resp, body, err := c.postJSON(ctx, "/v1/jobs", campaign)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return responseError(resp, body)
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			return fmt.Errorf("client: decode job status: %w", err)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Status fetches a job's current status (GET /v1/jobs/{id}).
+func (c *Client) Status(ctx context.Context, id string) (servev1.JobStatus, error) {
+	return c.getStatus(ctx, "/v1/jobs/"+id)
+}
+
+// Wait polls a job until it reaches a terminal state or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string) (servev1.JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(c.poll):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Cancel aborts a job (DELETE /v1/jobs/{id}).
+func (c *Client) Cancel(ctx context.Context, id string) (servev1.JobStatus, error) {
+	var out servev1.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return out, err
+	}
+	resp, body, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, responseError(resp, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("client: decode job status: %w", err)
+	}
+	return out, nil
+}
+
+// Events streams a job's progress (GET /v1/jobs/{id}/events): the
+// recorded history replays first, then live events follow; fn is called
+// for each in order. A non-nil fn error stops the stream and is
+// returned. The terminal state from the daemon's closing "end" event is
+// returned when the stream completes.
+func (c *Client) Events(ctx context.Context, id string, fn func(rooftune.Event) error) (servev1.State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	c.decorate(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: subscribe to events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", responseError(resp, body)
+	}
+
+	// Minimal SSE reader for the daemon's dialect: an "event: <name>"
+	// line names the block, "data: <payload>" carries it, a blank line
+	// ends it. Unnamed blocks are progress events; "end" terminates.
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	name := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "":
+			name = ""
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			payload := strings.TrimPrefix(line, "data: ")
+			if name == "end" {
+				var end struct {
+					State servev1.State `json:"state"`
+				}
+				if err := json.Unmarshal([]byte(payload), &end); err != nil {
+					return "", fmt.Errorf("client: decode end event: %w", err)
+				}
+				return end.State, nil
+			}
+			var ev rooftune.Event
+			if err := json.Unmarshal([]byte(payload), &ev); err != nil {
+				return "", fmt.Errorf("client: decode event: %w", err)
+			}
+			if fn != nil {
+				if err := fn(ev); err != nil {
+					return "", err
+				}
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return "", fmt.Errorf("client: event stream: %w", err)
+	}
+	return "", fmt.Errorf("client: event stream ended before the job did")
+}
+
+// Metrics fetches the daemon's Prometheus text exposition (GET
+// /metrics) verbatim.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, body, err := c.do(req)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", responseError(resp, body)
+	}
+	return string(body), nil
+}
+
+// getStatus fetches and decodes a JobStatus from a GET endpoint.
+func (c *Client) getStatus(ctx context.Context, path string) (servev1.JobStatus, error) {
+	var out servev1.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return out, err
+	}
+	resp, body, err := c.do(req)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, responseError(resp, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("client: decode job status: %w", err)
+	}
+	return out, nil
+}
+
+// withRetry runs attempt, retrying Temporary refusals up to the
+// configured bound. The daemon's Retry-After hint takes precedence over
+// the client's own exponential backoff.
+func (c *Client) withRetry(ctx context.Context, attempt func() error) error {
+	delay := c.backoff
+	for tries := 0; ; tries++ {
+		err := attempt()
+		if err == nil {
+			return nil
+		}
+		re, ok := asError(err)
+		if !ok || !re.Temporary() || tries >= c.retries {
+			return err
+		}
+		wait := delay
+		if re.RetryAfter > 0 {
+			wait = re.RetryAfter
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		delay *= 2
+	}
+}
+
+// asError unwraps a typed daemon error.
+func asError(err error) (*Error, bool) {
+	var re *Error
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
+}
+
+// postJSON marshals v and POSTs it to path, returning the response and
+// its fully read body.
+func (c *Client) postJSON(ctx context.Context, path string, v any) (*http.Response, []byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: encode campaign: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+// do decorates, sends, and drains one request.
+func (c *Client) do(req *http.Request) (*http.Response, []byte, error) {
+	c.decorate(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: contact daemon: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: read response: %w", err)
+	}
+	return resp, body, nil
+}
+
+// decorate applies the client identity header.
+func (c *Client) decorate(req *http.Request) {
+	if c.clientID != "" {
+		req.Header.Set(servev1.ClientHeader, c.clientID)
+	}
+}
+
+// responseError turns a non-2xx response into a typed *Error, decoding
+// the servev1 envelope when present and falling back to the raw body.
+func responseError(resp *http.Response, body []byte) error {
+	e := &Error{Status: resp.StatusCode}
+	var env servev1.ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+		if env.Error.RetryAfterSeconds > 0 {
+			e.RetryAfter = time.Duration(env.Error.RetryAfterSeconds) * time.Second
+		}
+	} else {
+		e.Message = string(bytes.TrimSpace(body))
+	}
+	if e.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

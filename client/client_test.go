@@ -1,0 +1,283 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rooftune"
+	servev1 "rooftune/serve/v1"
+)
+
+// shedBody renders the daemon's 429 envelope.
+func shedBody(retrySeconds int) string {
+	return fmt.Sprintf(`{"error":{"code":"overloaded","message":"admission refused","retryAfterSeconds":%d}}`, retrySeconds)
+}
+
+func okResult() string {
+	return `{"schema":"rooftune/result/v1","system":"t","points":null,"warnings":null,"roofline":{"points":null,"roofs":null}}`
+}
+
+// TestTypedErrorDecode: a non-2xx response with the envelope becomes a
+// *Error carrying status, code, message and the retry hint.
+func TestTypedErrorDecode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, shedBody(3))
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetries(0)).Tune(context.Background(), servev1.Campaign{System: "t"})
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not *client.Error", err)
+	}
+	if re.Status != http.StatusTooManyRequests || re.Code != servev1.CodeOverloaded {
+		t.Fatalf("typed error: %+v", re)
+	}
+	if re.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %s, want 3s", re.RetryAfter)
+	}
+	if !re.Temporary() {
+		t.Fatal("429 not Temporary")
+	}
+}
+
+// TestErrorFallsBackToHeaderAndBody: without a parseable envelope the
+// raw body becomes the message and the Retry-After header still feeds
+// the hint.
+func TestErrorFallsBackToHeaderAndBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, "maintenance")
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetries(0)).Tune(context.Background(), servev1.Campaign{System: "t"})
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not *client.Error", err)
+	}
+	if re.Code != "" || re.Message != "maintenance" || re.RetryAfter != 2*time.Second {
+		t.Fatalf("fallback error: %+v", re)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a shed submission retries after the
+// daemon's hint and succeeds; the client observed the full wait.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var lastShed atomic.Int64
+	var retriedAfter atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			lastShed.Store(time.Now().UnixNano())
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, shedBody(1))
+			return
+		}
+		retriedAfter.Store(time.Now().UnixNano() - lastShed.Load())
+		w.Header().Set(servev1.CacheHeader, "miss")
+		w.Header().Set(servev1.FingerprintHeader, "fp")
+		fmt.Fprint(w, okResult())
+	}))
+	defer ts.Close()
+
+	resp, err := New(ts.URL, WithRetries(2)).Tune(context.Background(), servev1.Campaign{System: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("daemon saw %d calls, want 3 (two sheds + success)", calls.Load())
+	}
+	if got := time.Duration(retriedAfter.Load()); got < time.Second {
+		t.Fatalf("final retry arrived %s after the shed, want >= the 1s hint", got)
+	}
+	if resp.Fingerprint != "fp" || resp.Cached {
+		t.Fatalf("response: %+v", resp)
+	}
+}
+
+// TestRetriesBounded: WithRetries(1) gives up after one retry and
+// surfaces the typed error.
+func TestRetriesBounded(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, shedBody(0))
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetries(1), WithBackoff(time.Millisecond)).
+		Submit(context.Background(), servev1.Campaign{System: "t"})
+	var re *Error
+	if !errors.As(err, &re) || re.Status != http.StatusTooManyRequests {
+		t.Fatalf("error: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("daemon saw %d calls, want 2 (original + one retry)", calls.Load())
+	}
+}
+
+// TestNonTemporaryNotRetried: a 400 is returned immediately, however
+// many retries are configured.
+func TestNonTemporaryNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":{"code":"bad_campaign","message":"no"}}`)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetries(5)).Tune(context.Background(), servev1.Campaign{})
+	var re *Error
+	if !errors.As(err, &re) || re.Code != servev1.CodeBadCampaign {
+		t.Fatalf("error: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("daemon saw %d calls, want 1", calls.Load())
+	}
+}
+
+// TestClientIDHeader: every request carries the configured identity.
+func TestClientIDHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(servev1.ClientHeader))
+		w.Header().Set(servev1.CacheHeader, "hit")
+		fmt.Fprint(w, okResult())
+	}))
+	defer ts.Close()
+
+	if _, err := New(ts.URL, WithClientID("ci-bot")).Tune(context.Background(), servev1.Campaign{System: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "ci-bot" {
+		t.Fatalf("daemon saw client id %q, want ci-bot", got.Load())
+	}
+}
+
+// TestWaitPollsToTerminal: Wait polls status until the job reports a
+// terminal state.
+func TestWaitPollsToTerminal(t *testing.T) {
+	var polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := servev1.JobStatus{ID: "j-1", State: servev1.StateRunning}
+		if polls.Add(1) >= 3 {
+			st.State = servev1.StateDone
+			st.Result = json.RawMessage(`{"ok":true}`)
+		}
+		_ = json.NewEncoder(w).Encode(st)
+	}))
+	defer ts.Close()
+
+	st, err := New(ts.URL, WithPollInterval(time.Millisecond)).Wait(context.Background(), "j-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != servev1.StateDone || polls.Load() < 3 {
+		t.Fatalf("state %q after %d polls", st.State, polls.Load())
+	}
+}
+
+// TestWaitRespectsContext: a cancelled context stops the polling loop.
+func TestWaitRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(servev1.JobStatus{ID: "j-1", State: servev1.StateRunning})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := New(ts.URL, WithPollInterval(time.Millisecond)).Wait(ctx, "j-1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestEventsDecodesSSE: the stream decodes each progress event in
+// order and returns the terminal state from the end block.
+func TestEventsDecodesSSE(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w,
+			"data: {\"kind\":\"sweep-started\",\"sweep\":\"s1\",\"cases\":2}\n\n",
+			"data: {\"kind\":\"sweep-won\",\"sweep\":\"s1\",\"case\":\"c1\",\"value\":42}\n\n",
+			"event: end\ndata: {\"state\":\"done\"}\n\n")
+	}))
+	defer ts.Close()
+
+	var kinds []rooftune.EventKind
+	state, err := New(ts.URL).Events(context.Background(), "j-1", func(ev rooftune.Event) error {
+		kinds = append(kinds, ev.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != servev1.StateDone {
+		t.Fatalf("terminal state %q, want done", state)
+	}
+	if len(kinds) != 2 || kinds[0] != rooftune.EventSweepStarted || kinds[1] != rooftune.EventSweepWon {
+		t.Fatalf("decoded kinds: %v", kinds)
+	}
+}
+
+// TestEventsCallbackErrorStopsStream: fn's error is returned verbatim.
+func TestEventsCallbackErrorStopsStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: {\"kind\":\"sweep-started\"}\n\n", "event: end\ndata: {\"state\":\"done\"}\n\n")
+	}))
+	defer ts.Close()
+
+	sentinel := errors.New("stop")
+	_, err := New(ts.URL).Events(context.Background(), "j-1", func(rooftune.Event) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// TestEventsTruncatedStream: a stream that ends without the end block
+// is an error, not a silent empty success.
+func TestEventsTruncatedStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: {\"kind\":\"sweep-started\"}\n\n")
+	}))
+	defer ts.Close()
+
+	if _, err := New(ts.URL).Events(context.Background(), "j-1", nil); err == nil {
+		t.Fatal("truncated stream did not error")
+	}
+}
+
+// TestBaseURLNormalization: bare host:port and trailing slashes both
+// resolve to the same daemon.
+func TestBaseURLNormalization(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j-1" {
+			t.Errorf("path %q", r.URL.Path)
+		}
+		_ = json.NewEncoder(w).Encode(servev1.JobStatus{ID: "j-1", State: servev1.StateDone})
+	}))
+	defer ts.Close()
+
+	hostport := ts.Listener.Addr().String()
+	for _, base := range []string{hostport, ts.URL + "/"} {
+		if _, err := New(base).Status(context.Background(), "j-1"); err != nil {
+			t.Fatalf("base %q: %v", base, err)
+		}
+	}
+}

@@ -7,6 +7,15 @@
 // run; concurrent distinct campaigns divide the host under a shared
 // parallelism budget.
 //
+// Production hardening is configuration: -max-jobs bounds concurrent
+// runs, -queue-depth bounds how many admitted jobs may wait (excess
+// load is shed with 429 + Retry-After and a structured error body),
+// -per-client-queue keeps one client from filling the whole queue
+// (clients identify themselves with the X-Roofserve-Client header),
+// and -cache-ttl / -cache-min-run bound how long and which results the
+// cache keeps. GET /metrics exposes the Prometheus text-format
+// counters operators alert on.
+//
 // Endpoints (see the README "Serving" section for the campaign schema):
 //
 //	POST   /v1/tune             submit a campaign and wait for the Result
@@ -15,13 +24,16 @@
 //	GET    /v1/jobs/{id}/events live progress as Server-Sent Events
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/healthz          liveness
-//	GET    /v1/stats            cache / budget / job counters
+//	GET    /v1/stats            cache / admission / budget / job counters
+//	GET    /metrics             Prometheus text-format exposition
 //
 // Examples:
 //
 //	roofserved                          # ephemeral port, in-memory cache
 //	roofserved -addr :8080 -cache-dir /var/cache/roofserved
 //	roofserved -parallelism 4           # cap the host share tuning may use
+//	roofserved -max-jobs 2 -queue-depth 8 -retry-after 2s
+//	roofserved -cache-ttl 24h -cache-min-run 50ms
 package main
 
 import (
@@ -41,10 +53,16 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
-		cacheEntries = flag.Int("cache-entries", 0, "result-cache capacity in entries (0 = default 256)")
-		cacheDir     = flag.String("cache-dir", "", "directory persisting cache entries across restarts (empty = in-memory only)")
-		parallelism  = flag.Int("parallelism", 0, "host-parallelism capacity divided among concurrent runs (0 = GOMAXPROCS)")
+		addr           = flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+		cacheEntries   = flag.Int("cache-entries", 0, "result-cache capacity in entries (0 = default 256)")
+		cacheDir       = flag.String("cache-dir", "", "directory persisting cache entries across restarts (empty = in-memory only)")
+		cacheTTL       = flag.Duration("cache-ttl", 0, "cache entry lifetime; persisted entries honor it across restarts (0 = never expire)")
+		cacheMinRun    = flag.Duration("cache-min-run", 0, "cache admission floor: results measured faster than this are not cached (0 = cache everything)")
+		parallelism    = flag.Int("parallelism", 0, "host-parallelism capacity divided among concurrent runs (0 = GOMAXPROCS)")
+		maxJobs        = flag.Int("max-jobs", 0, "max concurrently running jobs (0 = unlimited, disables queuing and shedding)")
+		queueDepth     = flag.Int("queue-depth", 0, "max admitted jobs waiting for a run slot; excess requests are shed with 429")
+		perClientQueue = flag.Int("per-client-queue", 0, "max queue slots any one client may hold (0 = only -queue-depth bounds it)")
+		retryAfter     = flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -54,9 +72,15 @@ func main() {
 	defer cancelRuns()
 
 	srv, err := serve.New(base, serve.Config{
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		Parallelism:  *parallelism,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		CacheTTL:       *cacheTTL,
+		CacheMinRun:    *cacheMinRun,
+		Parallelism:    *parallelism,
+		MaxJobs:        *maxJobs,
+		QueueDepth:     *queueDepth,
+		PerClientQueue: *perClientQueue,
+		RetryAfter:     *retryAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roofserved:", err)

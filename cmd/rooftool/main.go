@@ -25,7 +25,7 @@ import (
 
 	"rooftune"
 	"rooftune/internal/hw"
-	"rooftune/internal/serve"
+	servev1 "rooftune/serve/v1"
 )
 
 func main() {
@@ -82,7 +82,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rooftool: -threads is native-only and cannot be combined with -remote")
 			os.Exit(2)
 		}
-		res, err = runRemote(ctx, *remote, serve.Campaign{
+		res, err = runRemote(ctx, *remote, servev1.Campaign{
 			System:      *system,
 			Workloads:   workloadNames,
 			Seed:        *seed,

@@ -1,208 +1,67 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
-	"strings"
 
 	"rooftune"
-	"rooftune/internal/serve"
+	"rooftune/client"
+	servev1 "rooftune/serve/v1"
 )
 
-// remoteJob is the subset of the daemon's job-status wire form the
-// client needs (see serve.jobStatus).
-type remoteJob struct {
-	ID     string          `json:"id"`
-	State  string          `json:"state"`
-	Cached bool            `json:"cached"`
-	Error  string          `json:"error"`
-	Result json.RawMessage `json:"result"`
-}
-
-// runRemote executes the campaign on a roofserved daemon and returns
-// the decoded Result. The daemon serves the rooftune/result/v1 wire
-// schema, which round-trips exactly, so the rendered summary is
-// byte-identical to an in-process run of the same campaign. Without
-// -progress this is one synchronous POST /v1/tune; with -progress the
-// campaign is submitted as a job and its SSE event stream is replayed
-// through the same printEvent renderer a local run uses.
-func runRemote(ctx context.Context, base string, c serve.Campaign, progress bool) (*rooftune.Result, error) {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	base = strings.TrimRight(base, "/")
-	body, err := json.Marshal(c)
-	if err != nil {
-		return nil, fmt.Errorf("encode campaign: %w", err)
-	}
+// runRemote executes the campaign on a roofserved daemon through the
+// typed rooftune/client package and returns the decoded Result. The
+// daemon serves the rooftune/result/v1 wire schema, which round-trips
+// exactly, so the rendered summary is byte-identical to an in-process
+// run of the same campaign. Without -progress this is one synchronous
+// tune call; with -progress the campaign is submitted as a job and its
+// SSE event stream is replayed through the same printEvent renderer a
+// local run uses. Overload refusals (429) are retried a bounded number
+// of times, honoring the daemon's Retry-After hint.
+func runRemote(ctx context.Context, base string, c servev1.Campaign, progress bool) (*rooftune.Result, error) {
+	cl := client.New(base, client.WithClientID("rooftool"))
 	if !progress {
-		return remoteTune(ctx, base, body)
+		resp, err := cl.Tune(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Cached {
+			fmt.Fprintln(os.Stderr, "rooftool: result served from daemon cache")
+		}
+		return resp.Result, nil
 	}
-	return remoteJobStream(ctx, base, body)
-}
 
-// remoteTune is the synchronous path: POST the campaign, decode the
-// Result from the response body.
-func remoteTune(ctx context.Context, base string, body []byte) (*rooftune.Result, error) {
-	resp, err := postJSON(ctx, base+"/v1/tune", body)
+	job, err := cl.Submit(ctx, c)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("read response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, remoteError(resp.StatusCode, data)
-	}
-	if resp.Header.Get(serve.CacheHeader) == "hit" {
-		fmt.Fprintln(os.Stderr, "rooftool: result served from daemon cache")
-	}
-	var res rooftune.Result
-	if err := json.Unmarshal(data, &res); err != nil {
-		return nil, fmt.Errorf("decode result: %w", err)
-	}
-	return &res, nil
-}
-
-// remoteJobStream is the live path: submit asynchronously, replay the
-// job's SSE event stream through printEvent, then fetch the terminal
-// status for the Result.
-func remoteJobStream(ctx context.Context, base string, body []byte) (*rooftune.Result, error) {
-	resp, err := postJSON(ctx, base+"/v1/jobs", body)
-	if err != nil {
-		return nil, err
-	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return nil, fmt.Errorf("read response: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return nil, remoteError(resp.StatusCode, data)
-	}
-	var job remoteJob
-	if err := json.Unmarshal(data, &job); err != nil {
-		return nil, fmt.Errorf("decode job: %w", err)
-	}
-
-	if err := streamEvents(ctx, base, job.ID); err != nil {
+	if _, err := cl.Events(ctx, job.ID, func(ev rooftune.Event) error {
+		printEvent(ev)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 
 	// The stream ended; the terminal status carries the Result.
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+job.ID, nil)
+	st, err := cl.Wait(ctx, job.ID)
 	if err != nil {
 		return nil, err
 	}
-	statusResp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("fetch job status: %w", err)
-	}
-	defer statusResp.Body.Close()
-	data, err = io.ReadAll(statusResp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("read job status: %w", err)
-	}
-	if statusResp.StatusCode != http.StatusOK {
-		return nil, remoteError(statusResp.StatusCode, data)
-	}
-	if err := json.Unmarshal(data, &job); err != nil {
-		return nil, fmt.Errorf("decode job status: %w", err)
-	}
-	switch job.State {
-	case "done":
-		if job.Cached {
+	switch st.State {
+	case servev1.StateDone:
+		if st.Cached {
 			fmt.Fprintln(os.Stderr, "rooftool: result served from daemon cache")
 		}
 		var res rooftune.Result
-		if err := json.Unmarshal(job.Result, &res); err != nil {
+		if err := json.Unmarshal(st.Result, &res); err != nil {
 			return nil, fmt.Errorf("decode result: %w", err)
 		}
 		return &res, nil
-	case "failed":
-		return nil, fmt.Errorf("remote job %s failed: %s", job.ID, job.Error)
+	case servev1.StateFailed:
+		return nil, fmt.Errorf("remote job %s failed: %s", st.ID, st.Error)
 	default:
-		return nil, fmt.Errorf("remote job %s ended in state %q without a result", job.ID, job.State)
+		return nil, fmt.Errorf("remote job %s ended in state %q without a result", st.ID, st.State)
 	}
-}
-
-// streamEvents subscribes to the job's SSE stream and renders each
-// progress event with printEvent until the daemon sends the final
-// "end" event.
-func streamEvents(ctx context.Context, base, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("subscribe to events: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		return remoteError(resp.StatusCode, data)
-	}
-
-	// Minimal SSE reader: an "event: <name>" line names the block's
-	// event, "data: <payload>" carries it, a blank line ends the block.
-	// Unnamed blocks are progress events; the "end" block terminates.
-	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	name := ""
-	for scanner.Scan() {
-		line := scanner.Text()
-		switch {
-		case line == "":
-			name = ""
-		case strings.HasPrefix(line, "event: "):
-			name = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			if name == "end" {
-				return nil
-			}
-			var ev rooftune.Event
-			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-				return fmt.Errorf("decode event: %w", err)
-			}
-			printEvent(ev)
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("event stream: %w", err)
-	}
-	return fmt.Errorf("event stream ended before the job did")
-}
-
-func postJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("contact daemon: %w", err)
-	}
-	return resp, nil
-}
-
-// remoteError surfaces the daemon's error body, which is a JSON
-// {"error": "..."} object, as a plain message.
-func remoteError(status int, body []byte) error {
-	var wire struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &wire) == nil && wire.Error != "" {
-		return fmt.Errorf("daemon returned %d: %s", status, wire.Error)
-	}
-	return fmt.Errorf("daemon returned %d: %s", status, bytes.TrimSpace(body))
 }

@@ -1,11 +1,13 @@
 // Serve client: drive the roofserved HTTP API end to end against an
-// in-process daemon. The example starts a serve.Server on an ephemeral
-// port, submits a small simulated campaign as an asynchronous job,
-// tails its live progress over Server-Sent Events, decodes the Result
-// from the rooftune/result/v1 wire schema, and then submits the same
-// campaign again to show the content-addressed cache answering from
-// memory — byte-for-byte the first response, with zero kernel
-// executions.
+// in-process daemon, through the typed rooftune/client package. The
+// example starts a serve.Server on an ephemeral port, submits a small
+// simulated campaign as an asynchronous job, tails its live progress
+// over Server-Sent Events, decodes the Result from the
+// rooftune/result/v1 wire schema, submits the same campaign again to
+// show the content-addressed cache answering from memory — byte-for-
+// byte the first response, with zero kernel executions — and finally
+// scrapes /metrics to show the hit/miss counters reconciling with what
+// the client observed.
 //
 // Against a real daemon the client half is identical; only the base URL
 // changes:
@@ -16,19 +18,19 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"strings"
 
 	"rooftune"
+	"rooftune/client"
 	"rooftune/internal/serve"
+	servev1 "rooftune/serve/v1"
 )
 
 func main() {
@@ -52,14 +54,16 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Println("daemon:", base)
 
+	cl := client.New(base, client.WithClientID("example"))
+
 	// A campaign is plain JSON: the simulated system to characterise
 	// plus optional overrides. This one keeps the DGEMM space tiny so
 	// the example runs in moments.
-	campaign := serve.Campaign{
+	campaign := servev1.Campaign{
 		System:    "Gold 6148",
 		Workloads: []string{"dgemm", "triad"},
 		Seed:      42,
-		Space: []serve.DimsSpec{
+		Space: []servev1.DimsSpec{
 			{N: 256, M: 256, K: 256},
 			{N: 512, M: 512, K: 512},
 			{N: 1024, M: 1024, K: 256},
@@ -68,54 +72,42 @@ func main() {
 		TriadHiBytes: 1 << 26,
 		Serial:       true, // deterministic event order for the SSE tail
 	}
-	body, err := json.Marshal(campaign)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	// --- First submission: asynchronous job + SSE progress tail. ---
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	job, err := cl.Submit(ctx, campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var job struct {
-		ID     string          `json:"id"`
-		State  string          `json:"state"`
-		Cached bool            `json:"cached"`
-		Result json.RawMessage `json:"result"`
-	}
-	if err := decodeJSON(resp, &job); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("submitted job %s (fingerprint %.16s…)\n",
-		job.ID, resp.Header.Get(serve.FingerprintHeader))
+	fmt.Printf("submitted job %s (fingerprint %.16s…)\n", job.ID, job.Fingerprint)
 
-	events, err := tailEvents(base, job.ID)
-	if err != nil {
+	var winners []rooftune.Event
+	count := 0
+	if _, err := cl.Events(ctx, job.ID, func(ev rooftune.Event) error {
+		count++
+		if ev.Kind == rooftune.EventSweepWon {
+			winners = append(winners, ev)
+		}
+		return nil
+	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("streamed %d progress events; last sweep winners:\n", len(events))
-	for _, ev := range events {
-		if ev.Kind == rooftune.EventSweepWon {
-			fmt.Printf("  %-24s %s -> %.2f %s\n", ev.Sweep, ev.Case, ev.Value, ev.Unit)
-		}
+	fmt.Printf("streamed %d progress events; last sweep winners:\n", count)
+	for _, ev := range winners {
+		fmt.Printf("  %-24s %s -> %.2f %s\n", ev.Sweep, ev.Case, ev.Value, ev.Unit)
 	}
 
 	// The terminal status carries the Result in the v1 wire schema,
 	// which round-trips exactly — Summary() here is byte-identical to
 	// what an in-process Session.Run would have rendered.
-	resp, err = http.Get(base + "/v1/jobs/" + job.ID)
+	st, err := cl.Wait(ctx, job.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := decodeJSON(resp, &job); err != nil {
-		log.Fatal(err)
-	}
-	if job.State != "done" {
-		log.Fatalf("job ended in state %q", job.State)
+	if st.State != servev1.StateDone {
+		log.Fatalf("job ended in state %q: %s", st.State, st.Error)
 	}
 	var res rooftune.Result
-	if err := json.Unmarshal(job.Result, &res); err != nil {
+	if err := json.Unmarshal(st.Result, &res); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
@@ -124,64 +116,25 @@ func main() {
 	// --- Second submission: the fingerprint is already cached, so the
 	// daemon answers synchronously from stored bytes without running a
 	// single kernel. ---
-	resp, err = http.Post(base+"/v1/tune", "application/json", bytes.NewReader(body))
+	again, err := cl.Tune(ctx, campaign)
 	if err != nil {
 		log.Fatal(err)
 	}
-	again, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("resubmitted: %s=%s, response bytes identical to first run: %v\n",
-		serve.CacheHeader, resp.Header.Get(serve.CacheHeader),
-		bytes.Equal(bytes.TrimSpace(again), bytes.TrimSpace(job.Result)))
-}
+	fmt.Printf("resubmitted: %s=hit: %v, response bytes identical to first run: %v\n",
+		servev1.CacheHeader, again.Cached,
+		bytes.Equal(bytes.TrimSpace(again.Raw), bytes.TrimSpace(st.Result)))
 
-// tailEvents subscribes to the job's SSE stream and collects progress
-// events until the daemon's final "end" event.
-func tailEvents(base, id string) ([]rooftune.Event, error) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	// --- Operations view: the daemon's Prometheus exposition must
+	// reconcile with the traffic this client just drove. ---
+	exposition, err := cl.Metrics(ctx)
 	if err != nil {
-		return nil, err
+		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var events []rooftune.Event
-	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	name := ""
-	for scanner.Scan() {
-		line := scanner.Text()
-		switch {
-		case line == "":
-			name = ""
-		case strings.HasPrefix(line, "event: "):
-			name = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			if name == "end" {
-				return events, nil
-			}
-			var ev rooftune.Event
-			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-				return nil, err
-			}
-			events = append(events, ev)
+	for _, line := range strings.Split(exposition, "\n") {
+		if strings.HasPrefix(line, "roofserve_cache_hits_total") ||
+			strings.HasPrefix(line, "roofserve_cache_misses_total") ||
+			strings.HasPrefix(line, "roofserve_admission_granted_total") {
+			fmt.Println("metric:", line)
 		}
 	}
-	if err := scanner.Err(); err != nil {
-		return nil, err
-	}
-	return events, fmt.Errorf("event stream ended before the job did")
-}
-
-func decodeJSON(resp *http.Response, v any) error {
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("daemon returned %d: %s", resp.StatusCode, bytes.TrimSpace(data))
-	}
-	return json.Unmarshal(data, v)
 }

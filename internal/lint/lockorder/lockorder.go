@@ -44,9 +44,11 @@ var Analyzer = &analysis.Analyzer{
 // mutex on the serving path (fixtures mirror the suffixes).
 var lockedPackages = []string{
 	"internal/serve",
+	"internal/serve/admit",
 	"internal/serve/jobs",
 	"internal/serve/cache",
 	"internal/serve/budget",
+	"internal/serve/metrics",
 	"internal/parallel",
 }
 

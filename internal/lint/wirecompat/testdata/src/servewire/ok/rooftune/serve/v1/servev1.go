@@ -1,0 +1,51 @@
+// Package servev1 is a fixture mirroring the daemon wire contract:
+// request/response structs with json tags plus the named string
+// enumerations clients dispatch on. The census must skip unexported
+// constants (stateDraining), non-string named types (level) and
+// untyped string constants (Version).
+package servev1
+
+// State is a job lifecycle phase.
+type State string
+
+const (
+	StateQueued State = "queued"
+	StateDone   State = "done"
+)
+
+// stateDraining is unexported: not part of the contract.
+const stateDraining State = "draining"
+
+// Code is a structured error code.
+type Code string
+
+const CodeOverloaded Code = "overloaded"
+
+// level is a named int type; its exported constant must stay out of the
+// string-enum census.
+type level int
+
+const LevelHigh level = 3
+
+// Version is an untyped string constant, not a named enumeration.
+const Version = "v1"
+
+// JobStatus is a wire response shape.
+type JobStatus struct {
+	ID      string `json:"id"`
+	State   State  `json:"state"`
+	Error   string `json:"error,omitempty"`
+	Attempt int    `json:"-"`
+	hidden  string
+}
+
+// ErrorEnvelope wraps the structured error body.
+type ErrorEnvelope struct {
+	Err ErrorBody `json:"error"`
+}
+
+// ErrorBody is the structured error payload.
+type ErrorBody struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}

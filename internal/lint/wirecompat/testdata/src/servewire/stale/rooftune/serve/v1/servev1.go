@@ -1,0 +1,20 @@
+// Package servev1 is a fixture whose serve golden is stale in every
+// drift class: the golden still lists a deleted field (fingerprint) and
+// a deleted enum member (StateRunning), records id with its old type
+// and StateDone with its old value, and does not know note yet.
+package servev1 // want `serve/v1 contract entry removed: "servev1 JobStatus\.fingerprint = string" \(golden api/serve_v1\.txt\)` `serve/v1 contract entry removed: "enum State\.StateRunning = running" \(golden api/serve_v1\.txt\)`
+
+// State is a job lifecycle phase.
+type State string // want `serve/v1 contract entry changed: enum State\.StateDone is now "finished", golden api/serve_v1\.txt has "done"`
+
+const (
+	StateQueued State = "queued"
+	StateDone   State = "finished"
+)
+
+// JobStatus is a wire response shape.
+type JobStatus struct { // want `serve/v1 contract entry changed: servev1 JobStatus\.id is now "int", golden api/serve_v1\.txt has "string"` `serve/v1 contract entry "servev1 JobStatus\.note = string" not in the serve wire golden; declare the addition with rooflint -write-goldens`
+	ID    int    `json:"id"`
+	Note  string `json:"note"`
+	State State  `json:"state"`
+}

@@ -19,6 +19,14 @@ func TestWireCompat(t *testing.T) {
 	linttest.Run(t, wirecompat.Analyzer, "./testdata/src/wire/...")
 }
 
+// TestServeWireCompat runs the serve/v1 fixture trees: ok matches its
+// contract golden (struct census and enum census, no findings), stale
+// exercises field removal, retype, addition, enum-member removal and
+// enum revaluing.
+func TestServeWireCompat(t *testing.T) {
+	linttest.Run(t, wirecompat.Analyzer, "./testdata/src/servewire/...")
+}
+
 // TestWriteGoldensHeals proves the stale fixture checks clean after
 // write mode regenerates its golden, and that write mode is idempotent
 // on the clean ok fixture (its two-section golden comes back
@@ -27,6 +35,8 @@ func TestWriteGoldensHeals(t *testing.T) {
 	paths := []string{
 		"testdata/src/wire/ok/rooftune/api/wire_v1.txt",
 		"testdata/src/wire/stale/rooftune/api/wire_v1.txt",
+		"testdata/src/servewire/ok/rooftune/api/serve_v1.txt",
+		"testdata/src/servewire/stale/rooftune/api/serve_v1.txt",
 	}
 	saved := map[string][]byte{}
 	for _, p := range paths {
@@ -45,7 +55,9 @@ func TestWriteGoldensHeals(t *testing.T) {
 		}
 	}()
 
-	pkgs, err := lint.Load(".", "./testdata/src/wire/ok/...", "./testdata/src/wire/stale/...")
+	pkgs, err := lint.Load(".",
+		"./testdata/src/wire/ok/...", "./testdata/src/wire/stale/...",
+		"./testdata/src/servewire/ok/...", "./testdata/src/servewire/stale/...")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +82,13 @@ func TestWriteGoldensHeals(t *testing.T) {
 	if diags := run(); len(diags) != 0 {
 		t.Errorf("tree still dirty after -write-goldens: %v", diags)
 	}
-	now, err := os.ReadFile(paths[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(now, saved[paths[0]]) {
-		t.Errorf("write mode rewrote the clean golden differently:\n got: %s\nwant: %s", now, saved[paths[0]])
+	for _, p := range []string{paths[0], paths[2]} {
+		now, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(now, saved[p]) {
+			t.Errorf("write mode rewrote the clean golden %s differently:\n got: %s\nwant: %s", p, now, saved[p])
+		}
 	}
 }

@@ -1,0 +1,312 @@
+// Package admit is the serving tier's admission controller: it bounds
+// how many tuning runs execute concurrently, how many may wait, and how
+// much of the wait queue any one client may occupy.
+//
+// The controller sits in front of the jobs registry, so it only ever
+// sees work that is genuinely new: cache hits cost nothing and
+// singleflight joins ride an existing admission, which is why an
+// identical flood collapses to one slot while a distinct flood is shed.
+// Shedding is deterministic — a request is refused if and only if the
+// global queue is full or the client's queue quota is exhausted at
+// arrival — and every refusal carries the same configured retry-after
+// hint, so clients can be tested against exact values.
+//
+// Fairness is round-robin across clients: grants rotate through the
+// clients that have waiters, one waiter per turn, so a client that
+// enqueues fifty campaigns cannot starve a client that enqueued one.
+// The per-client quota additionally bounds how much of the queue a
+// single client may fill.
+package admit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Shed reasons, carried on ShedError and usable as metric labels.
+const (
+	// ReasonQueueFull: the global wait queue was at QueueDepth.
+	ReasonQueueFull = "queue_full"
+	// ReasonClientQuota: the client already holds PerClient waiters.
+	ReasonClientQuota = "client_quota"
+)
+
+// ShedError is a deterministic admission refusal: the request never
+// held a slot and may be retried after RetryAfter.
+type ShedError struct {
+	// Reason is ReasonQueueFull or ReasonClientQuota.
+	Reason string
+	// RetryAfter is the daemon's resubmission hint.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admit: shed (%s): retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Config bounds the controller.
+type Config struct {
+	// MaxJobs is the number of concurrently running jobs (<=0:
+	// unlimited — every Admit grants immediately).
+	MaxJobs int
+	// QueueDepth bounds the waiters across all clients (<=0: no queue —
+	// a request that cannot run immediately is shed).
+	QueueDepth int
+	// PerClient bounds the waiters any one client may hold (<=0: only
+	// the global QueueDepth bounds a client).
+	PerClient int
+	// RetryAfter is the hint carried on every ShedError (<=0: 1s).
+	RetryAfter time.Duration
+}
+
+// Stats is a point-in-time controller snapshot.
+type Stats struct {
+	// Running is the number of slots currently held.
+	Running int `json:"running"`
+	// Queued is the number of waiters across all clients.
+	Queued int `json:"queued"`
+	// Clients is the number of distinct clients with waiters.
+	Clients int `json:"clients"`
+	// Granted counts every admission that obtained a slot (immediate or
+	// after queuing).
+	Granted uint64 `json:"granted"`
+	// ShedQueueFull / ShedClientQuota count refusals by reason.
+	ShedQueueFull   uint64 `json:"shedQueueFull"`
+	ShedClientQuota uint64 `json:"shedClientQuota"`
+}
+
+// waiter is one queued admission.
+type waiter struct {
+	client   string
+	ch       chan struct{}
+	enqueued time.Time
+	granted  bool
+}
+
+// Ticket is one admitted (or queued) request's claim. Wait for the
+// grant, then Release exactly once when the run ends. A Wait that
+// returns an error consumed the ticket — the waiter left the queue and
+// there is nothing to release.
+type Ticket struct {
+	c *Controller
+	w *waiter
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Controller implements the admission policy. The zero value is not
+// usable; construct with New.
+type Controller struct {
+	cfg Config
+	// obs, when non-nil, observes every grant's queue-wait duration
+	// (zero for immediate grants). Called outside the controller lock.
+	obs func(wait time.Duration)
+	now func() time.Time
+
+	mu      sync.Mutex
+	running int
+	queued  int
+	queues  map[string][]*waiter
+	ring    []string // clients with waiters, in rotation order
+	next    int      // ring cursor: the client whose turn is next
+
+	granted         uint64
+	shedQueueFull   uint64
+	shedClientQuota uint64
+}
+
+// New builds a controller. obs, when non-nil, receives every grant's
+// queue-wait duration — the metrics plane's wait-latency histogram.
+func New(cfg Config, obs func(wait time.Duration)) *Controller {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	return &Controller{
+		cfg:    cfg,
+		obs:    obs,
+		now:    time.Now,
+		queues: make(map[string][]*waiter),
+	}
+}
+
+// grantedWaiter returns a pre-granted waiter so immediate admissions
+// share the queued-grant code path.
+func grantedWaiter(client string, at time.Time) *waiter {
+	ch := make(chan struct{})
+	close(ch)
+	return &waiter{client: client, ch: ch, enqueued: at, granted: true}
+}
+
+// Admit decides the request's fate at arrival: an immediate grant when
+// a slot is free, a queued ticket when the queue has room for this
+// client, or a ShedError. It never blocks; block on Ticket.Wait.
+func (c *Controller) Admit(client string) (*Ticket, error) {
+	c.mu.Lock()
+	now := c.now()
+	if c.cfg.MaxJobs <= 0 || (c.running < c.cfg.MaxJobs && c.queued == 0) {
+		c.running++
+		c.granted++
+		c.mu.Unlock()
+		if c.obs != nil {
+			c.obs(0)
+		}
+		return &Ticket{c: c, w: grantedWaiter(client, now)}, nil
+	}
+	if c.queued >= c.cfg.QueueDepth {
+		c.shedQueueFull++
+		c.mu.Unlock()
+		return nil, &ShedError{Reason: ReasonQueueFull, RetryAfter: c.cfg.RetryAfter}
+	}
+	if c.cfg.PerClient > 0 && len(c.queues[client]) >= c.cfg.PerClient {
+		c.shedClientQuota++
+		c.mu.Unlock()
+		return nil, &ShedError{Reason: ReasonClientQuota, RetryAfter: c.cfg.RetryAfter}
+	}
+	w := &waiter{client: client, ch: make(chan struct{}), enqueued: now}
+	if len(c.queues[client]) == 0 {
+		c.ring = append(c.ring, client)
+	}
+	c.queues[client] = append(c.queues[client], w)
+	c.queued++
+	c.mu.Unlock()
+	return &Ticket{c: c, w: w}, nil
+}
+
+// promote hands the freed slot to the next waiter, rotating round-robin
+// across clients. Caller holds c.mu; the returned waiter's channel is
+// closed by the caller after unlocking (no channel ops under the lock).
+func (c *Controller) promote() *waiter {
+	if c.queued == 0 || c.running >= c.cfg.MaxJobs {
+		return nil
+	}
+	if c.next >= len(c.ring) {
+		c.next = 0
+	}
+	client := c.ring[c.next]
+	q := c.queues[client]
+	w := q[0]
+	if len(q) == 1 {
+		delete(c.queues, client)
+		c.ring = append(c.ring[:c.next], c.ring[c.next+1:]...)
+		// The cursor now indexes the following client; nothing to do.
+	} else {
+		c.queues[client] = q[1:]
+		c.next++
+	}
+	c.queued--
+	c.running++
+	c.granted++
+	w.granted = true
+	return w
+}
+
+// release returns a held slot and promotes the next waiter.
+func (c *Controller) release() {
+	c.mu.Lock()
+	c.running--
+	if c.running < 0 {
+		c.mu.Unlock()
+		panic("admit: running count underflow")
+	}
+	w := c.promote()
+	var wait time.Duration
+	if w != nil {
+		wait = c.now().Sub(w.enqueued)
+	}
+	c.mu.Unlock()
+	if w != nil {
+		close(w.ch)
+		if c.obs != nil {
+			c.obs(wait)
+		}
+	}
+}
+
+// abandon removes a still-queued waiter (its context was cancelled).
+// Reports false if the waiter had already been granted — the caller
+// then owns a slot after all.
+func (c *Controller) abandon(w *waiter) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	q := c.queues[w.client]
+	for i, qw := range q {
+		if qw == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(c.queues, w.client)
+		for i, cl := range c.ring {
+			if cl == w.client {
+				c.ring = append(c.ring[:i], c.ring[i+1:]...)
+				if i < c.next {
+					c.next--
+				}
+				break
+			}
+		}
+	} else {
+		c.queues[w.client] = q
+	}
+	c.queued--
+	return true
+}
+
+// Wait blocks until the ticket's slot is granted or ctx is done. A nil
+// return means the caller holds the slot and must Release it; an error
+// means the waiter left the queue and the ticket is dead.
+func (t *Ticket) Wait(ctx context.Context) error {
+	select {
+	case <-t.w.ch:
+		return nil
+	case <-ctx.Done():
+		if !t.c.abandon(t.w) {
+			// The grant raced the cancellation and won: the caller owns
+			// the slot; its next context check will unwind it normally.
+			<-t.w.ch
+			return nil
+		}
+		t.mu.Lock()
+		t.released = true // nothing to release; make a late Release loud
+		t.mu.Unlock()
+		return fmt.Errorf("admit: abandoned while queued: %w", ctx.Err())
+	}
+}
+
+// Release returns the slot. Releasing twice, or releasing a ticket
+// whose Wait failed, is a bug and panics loudly rather than silently
+// corrupting the admission accounting.
+func (t *Ticket) Release() {
+	t.mu.Lock()
+	if t.released {
+		t.mu.Unlock()
+		panic("admit: ticket released twice")
+	}
+	t.released = true
+	t.mu.Unlock()
+	t.c.release()
+}
+
+// Stats snapshots the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Running:         c.running,
+		Queued:          c.queued,
+		Clients:         len(c.queues),
+		Granted:         c.granted,
+		ShedQueueFull:   c.shedQueueFull,
+		ShedClientQuota: c.shedClientQuota,
+	}
+}

@@ -1,0 +1,335 @@
+package admit
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// grant returns a Ticket that must be immediately granted (Wait does
+// not block).
+func grant(t *testing.T, c *Controller, client string) *Ticket {
+	t.Helper()
+	tk, err := c.Admit(client)
+	if err != nil {
+		t.Fatalf("Admit(%s): %v", client, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tk.Wait(ctx); err != nil {
+		t.Fatalf("Wait(%s): %v", client, err)
+	}
+	return tk
+}
+
+// queued returns a Ticket that must be admitted into the queue (no
+// error) without asserting anything about when it is granted.
+func queued(t *testing.T, c *Controller, client string) *Ticket {
+	t.Helper()
+	tk, err := c.Admit(client)
+	if err != nil {
+		t.Fatalf("Admit(%s): %v", client, err)
+	}
+	return tk
+}
+
+// shed asserts the admission is refused with the given reason.
+func shed(t *testing.T, c *Controller, client, reason string) *ShedError {
+	t.Helper()
+	_, err := c.Admit(client)
+	se, ok := err.(*ShedError)
+	if !ok {
+		t.Fatalf("Admit(%s): got %v, want *ShedError", client, err)
+	}
+	if se.Reason != reason {
+		t.Fatalf("Admit(%s): shed reason %q, want %q", client, se.Reason, reason)
+	}
+	return se
+}
+
+func TestUnlimitedAlwaysGrants(t *testing.T) {
+	c := New(Config{}, nil)
+	var tickets []*Ticket
+	for i := 0; i < 50; i++ {
+		tickets = append(tickets, grant(t, c, "a"))
+	}
+	if s := c.Stats(); s.Running != 50 || s.Granted != 50 || s.Queued != 0 {
+		t.Fatalf("stats after 50 unlimited grants: %+v", s)
+	}
+	for _, tk := range tickets {
+		tk.Release()
+	}
+	if s := c.Stats(); s.Running != 0 {
+		t.Fatalf("running after release: %d", s.Running)
+	}
+}
+
+func TestQueueGrantsOnRelease(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 4}, nil)
+	first := grant(t, c, "a")
+	second := queued(t, c, "b")
+
+	done := make(chan error, 1)
+	go func() { done <- second.Wait(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("queued ticket granted before release: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	first.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued ticket never granted after release")
+	}
+	second.Release()
+	if s := c.Stats(); s.Running != 0 || s.Queued != 0 || s.Granted != 2 {
+		t.Fatalf("final stats: %+v", s)
+	}
+}
+
+// TestShedOrderQueueFullFirst pins the deterministic shed order: the
+// global queue bound is checked before the per-client quota, so a
+// request that violates both sheds as queue_full.
+func TestShedOrderQueueFullFirst(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 1, PerClient: 1}, nil)
+	running := grant(t, c, "a")
+	waiting := queued(t, c, "a")
+	shed(t, c, "a", ReasonQueueFull) // violates both bounds; queue_full wins
+	shed(t, c, "b", ReasonQueueFull) // a fresh client is still refused
+
+	if s := c.Stats(); s.ShedQueueFull != 2 || s.ShedClientQuota != 0 {
+		t.Fatalf("shed counters: %+v", s)
+	}
+	running.Release()
+	if err := waiting.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	waiting.Release()
+}
+
+func TestPerClientQuota(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 4, PerClient: 1}, nil)
+	running := grant(t, c, "a")
+	aWaiter := queued(t, c, "a")
+	shed(t, c, "a", ReasonClientQuota) // a already holds its one slot
+	bWaiter := queued(t, c, "b")       // other clients are unaffected
+	shed(t, c, "b", ReasonClientQuota)
+
+	if s := c.Stats(); s.Queued != 2 || s.Clients != 2 || s.ShedClientQuota != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	running.Release()
+	if err := aWaiter.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	aWaiter.Release()
+	if err := bWaiter.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bWaiter.Release()
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 0, RetryAfter: 2 * time.Second}, nil)
+	running := grant(t, c, "a")
+	if se := shed(t, c, "b", ReasonQueueFull); se.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %s, want 2s", se.RetryAfter)
+	}
+	running.Release()
+
+	// The zero config defaults the hint to one second.
+	c = New(Config{MaxJobs: 1}, nil)
+	running = grant(t, c, "a")
+	if se := shed(t, c, "b", ReasonQueueFull); se.RetryAfter != time.Second {
+		t.Fatalf("default RetryAfter = %s, want 1s", se.RetryAfter)
+	}
+	running.Release()
+}
+
+// TestRoundRobinFairness pins the grant rotation: with client a holding
+// three queue slots and clients b and c one each, grants alternate
+// across clients instead of draining a first.
+func TestRoundRobinFairness(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 8}, nil)
+	running := grant(t, c, "a")
+
+	granted := make(chan string, 8)
+	var tickets []*Ticket
+	// Enqueue order: a, a, a, b, c. Ring order is first-waiter order.
+	for _, client := range []string{"a", "a", "a", "b", "c"} {
+		tk := queued(t, c, client)
+		tickets = append(tickets, tk)
+		client := client
+		go func() {
+			if err := tk.Wait(context.Background()); err == nil {
+				granted <- client
+			}
+		}()
+	}
+
+	// Each release grants exactly one waiter; collect the rotation.
+	var order []string
+	release := running
+	for i := 0; i < 5; i++ {
+		release.Release()
+		select {
+		case client := <-granted:
+			order = append(order, client)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no grant after release %d (order so far %v)", i, order)
+		}
+		// The granted ticket is the next to release. Tickets grant in
+		// FIFO order within a client, so match by client name.
+		for _, tk := range tickets {
+			if tk.w.client == order[len(order)-1] && tk.w.granted && !tk.released {
+				release = tk
+				break
+			}
+		}
+	}
+	release.Release()
+
+	want := "a b c a a"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("grant order %q, want %q", got, want)
+	}
+	if s := c.Stats(); s.Running != 0 || s.Queued != 0 || s.Granted != 6 {
+		t.Fatalf("final stats: %+v", s)
+	}
+}
+
+func TestAbandonWhileQueued(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 4}, nil)
+	running := grant(t, c, "a")
+	waiting := queued(t, c, "b")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := waiting.Wait(ctx); err == nil {
+		t.Fatal("Wait with cancelled context returned nil for a queued ticket")
+	}
+	if s := c.Stats(); s.Queued != 0 || s.Clients != 0 {
+		t.Fatalf("stats after abandon: %+v", s)
+	}
+
+	// The abandoned slot must not be granted: releasing the runner leaves
+	// the controller idle.
+	running.Release()
+	if s := c.Stats(); s.Running != 0 || s.Granted != 1 {
+		t.Fatalf("stats after release: %+v", s)
+	}
+}
+
+// TestWaitGrantRace: a ticket granted before its context is cancelled
+// owns the slot — Wait returns nil even with a dead context, whichever
+// select branch fires first.
+func TestWaitGrantRace(t *testing.T) {
+	c := New(Config{MaxJobs: 1, QueueDepth: 4}, nil)
+	running := grant(t, c, "a")
+	waiting := queued(t, c, "b")
+
+	running.Release() // grants b before anyone Waits
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := waiting.Wait(ctx); err != nil {
+		t.Fatalf("Wait on granted ticket with cancelled context: %v", err)
+	}
+	waiting.Release()
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	c := New(Config{MaxJobs: 1}, nil)
+	tk := grant(t, c, "a")
+	tk.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	tk.Release()
+}
+
+// TestObsSeesEveryGrant: the wait observer fires once per grant —
+// immediately with zero wait for free-slot admissions, and after the
+// queue wait for promoted ones.
+func TestObsSeesEveryGrant(t *testing.T) {
+	var calls atomic.Uint64
+	var zeroWaits atomic.Uint64
+	c := New(Config{MaxJobs: 1, QueueDepth: 4}, func(wait time.Duration) {
+		calls.Add(1)
+		if wait == 0 {
+			zeroWaits.Add(1)
+		}
+	})
+	first := grant(t, c, "a")
+	second := queued(t, c, "b")
+	first.Release()
+	if err := second.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	second.Release()
+	if calls.Load() != 2 {
+		t.Fatalf("obs calls = %d, want 2", calls.Load())
+	}
+	if zeroWaits.Load() != 1 {
+		t.Fatalf("zero-wait grants = %d, want 1 (the immediate admission)", zeroWaits.Load())
+	}
+}
+
+// TestConcurrentAdmissions hammers the controller from many goroutines
+// under -race and checks the accounting reconciles exactly.
+func TestConcurrentAdmissions(t *testing.T) {
+	c := New(Config{MaxJobs: 4, QueueDepth: 16, PerClient: 8}, nil)
+	clients := []string{"a", "b", "c", "d"}
+	const perClient = 32
+
+	var granted, shedCount atomic.Uint64
+	var wg sync.WaitGroup
+	for _, client := range clients {
+		client := client
+		for i := 0; i < perClient; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tk, err := c.Admit(client)
+				if err != nil {
+					if _, ok := err.(*ShedError); !ok {
+						t.Errorf("unexpected error: %v", err)
+					}
+					shedCount.Add(1)
+					return
+				}
+				if err := tk.Wait(context.Background()); err != nil {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+				granted.Add(1)
+				tk.Release()
+			}()
+		}
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Running != 0 || s.Queued != 0 || s.Clients != 0 {
+		t.Fatalf("controller not drained: %+v", s)
+	}
+	total := uint64(len(clients) * perClient)
+	if granted.Load()+shedCount.Load() != total {
+		t.Fatalf("granted %d + shed %d != %d", granted.Load(), shedCount.Load(), total)
+	}
+	if s.Granted != granted.Load() {
+		t.Fatalf("stats granted %d, observed %d", s.Granted, granted.Load())
+	}
+	if s.ShedQueueFull+s.ShedClientQuota != shedCount.Load() {
+		t.Fatalf("stats sheds %d+%d, observed %d", s.ShedQueueFull, s.ShedClientQuota, shedCount.Load())
+	}
+}

@@ -25,8 +25,9 @@ import (
 type Budget struct {
 	capacity int
 
-	mu     sync.Mutex
-	active int
+	mu        sync.Mutex
+	active    int
+	contended uint64
 }
 
 // New builds a budget over the given worker capacity; zero or negative
@@ -46,6 +47,15 @@ func (b *Budget) Active() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.active
+}
+
+// Contended counts the acquisitions that joined an already-leased host
+// and therefore got less than the full capacity — the budget-contention
+// counter on /metrics.
+func (b *Budget) Contended() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.contended
 }
 
 // Lease is one run's slice of the host. Release it when the run ends;
@@ -69,6 +79,9 @@ func (b *Budget) Acquire() *Lease {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.active++
+	if b.active > 1 {
+		b.contended++
+	}
 	share := b.capacity / b.active
 	if share < 1 {
 		share = 1

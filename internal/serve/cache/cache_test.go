@@ -16,27 +16,33 @@ func key(seed int) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// mustPut stores val and fails the test on error or rejection.
+func mustPut(t *testing.T, c *Cache, k string, val []byte) {
+	t.Helper()
+	stored, err := c.Put(k, val, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stored {
+		t.Fatalf("Put(%s) rejected unexpectedly", k)
+	}
+}
+
 func TestHitMissPromote(t *testing.T) {
-	c, err := New(2, "")
+	c, err := New(Config{MaxEntries: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.Get(key(1)); ok {
 		t.Fatal("empty cache reported a hit")
 	}
-	if err := c.Put(key(1), []byte("one")); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Put(key(2), []byte("two")); err != nil {
-		t.Fatal(err)
-	}
+	mustPut(t, c, key(1), []byte("one"))
+	mustPut(t, c, key(2), []byte("two"))
 	if got, ok := c.Get(key(1)); !ok || string(got) != "one" {
 		t.Fatalf("Get(1) = %q, %v", got, ok)
 	}
 	// 1 was just used, so inserting 3 must evict 2, not 1.
-	if err := c.Put(key(3), []byte("three")); err != nil {
-		t.Fatal(err)
-	}
+	mustPut(t, c, key(3), []byte("three"))
 	if _, ok := c.Get(key(2)); ok {
 		t.Fatal("LRU evicted the recently used entry instead of the stale one")
 	}
@@ -53,32 +59,28 @@ func TestHitMissPromote(t *testing.T) {
 }
 
 func TestPutValidation(t *testing.T) {
-	c, err := New(4, "")
+	c, err := New(Config{MaxEntries: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("../../etc/passwd", []byte("x")); err == nil {
+	if _, err := c.Put("../../etc/passwd", []byte("x"), time.Hour); err == nil {
 		t.Fatal("malformed key accepted")
 	}
-	if err := c.Put("ABC", []byte("x")); err == nil {
+	if _, err := c.Put("ABC", []byte("x"), time.Hour); err == nil {
 		t.Fatal("short key accepted")
 	}
-	if err := c.Put(key(1), nil); err == nil {
+	if _, err := c.Put(key(1), nil, time.Hour); err == nil {
 		t.Fatal("empty value accepted")
 	}
 }
 
 func TestOverwriteRefreshes(t *testing.T) {
-	c, err := New(4, "")
+	c, err := New(Config{MaxEntries: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put(key(1), []byte("v1")); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.Put(key(1), []byte("v2")); err != nil {
-		t.Fatal(err)
-	}
+	mustPut(t, c, key(1), []byte("v1"))
+	mustPut(t, c, key(1), []byte("v2"))
 	if got, _ := c.Get(key(1)); string(got) != "v2" {
 		t.Fatalf("Get = %q after overwrite", got)
 	}
@@ -87,20 +89,81 @@ func TestOverwriteRefreshes(t *testing.T) {
 	}
 }
 
-func TestDirPersistence(t *testing.T) {
-	dir := t.TempDir()
-	c, err := New(8, dir)
+func TestMinCostAdmission(t *testing.T) {
+	c, err := New(Config{MaxEntries: 4, MinCost: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put(key(1), []byte(`{"x":1}`)); err != nil {
+	stored, err := c.Put(key(1), []byte("cheap"), 10*time.Millisecond)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put(key(2), []byte(`{"x":2}`)); err != nil {
+	if stored {
+		t.Fatal("sub-floor result admitted")
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("rejected result was resident")
+	}
+	stored, err = c.Put(key(2), []byte("costly"), 2*time.Second)
+	if err != nil {
 		t.Fatal(err)
 	}
+	if !stored {
+		t.Fatal("above-floor result rejected")
+	}
+	s := c.Stats()
+	if s.Rejected != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 rejection / 1 entry", s)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c, err := New(Config{MaxEntries: 4, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A controllable clock: entries written at t0 expire at t0+1m.
+	t0 := time.Unix(1_700_000_000, 0)
+	clock := t0
+	c.now = func() time.Time { return clock }
+	mustPut(t, c, key(1), []byte("fresh"))
+
+	clock = t0.Add(30 * time.Second)
+	if got, ok := c.Get(key(1)); !ok || string(got) != "fresh" {
+		t.Fatalf("entry expired early: %q, %v", got, ok)
+	}
+
+	// Overwriting refreshes the deadline.
+	mustPut(t, c, key(1), []byte("refreshed"))
+	clock = t0.Add(75 * time.Second) // 45s after the refresh
+	if got, ok := c.Get(key(1)); !ok || string(got) != "refreshed" {
+		t.Fatalf("refreshed entry expired on the original deadline: %q, %v", got, ok)
+	}
+
+	clock = t0.Add(3 * time.Minute)
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("expired entry served")
+	}
+	s := c.Stats()
+	if s.Expired != 1 || s.Entries != 0 {
+		t.Fatalf("stats = %+v, want 1 expiry / 0 entries", s)
+	}
+	// The expiry also counts as a miss: the caller will recompute.
+	if s.Misses != 1 {
+		t.Fatalf("stats = %+v, want the expiry counted as a miss", s)
+	}
+}
+
+func TestDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{MaxEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, c, key(1), []byte(`{"x":1}`))
+	mustPut(t, c, key(2), []byte(`{"x":2}`))
 	// A restarted daemon reloads both entries bit for bit.
-	re, err := New(8, dir)
+	re, err := New(Config{MaxEntries: 8, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,16 +178,43 @@ func TestDirPersistence(t *testing.T) {
 	}
 }
 
+func TestDirReloadHonorsTTL(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{MaxEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, c, key(1), []byte("stale"))
+	mustPut(t, c, key(2), []byte("fresh"))
+	// Age entry 1 past the reload TTL via its file mtime — on disk the
+	// mtime IS the entry's write time.
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, key(1)+fileSuffix), past, past); err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{MaxEntries: 8, Dir: dir, TTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get(key(1)); ok {
+		t.Fatal("TTL-expired disk entry served after restart")
+	}
+	if got, ok := re.Get(key(2)); !ok || string(got) != "fresh" {
+		t.Fatalf("fresh entry lost in reload: %q, %v", got, ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key(1)+fileSuffix)); !os.IsNotExist(err) {
+		t.Fatalf("expired file not cleaned up: %v", err)
+	}
+}
+
 func TestDirReloadKeepsNewest(t *testing.T) {
 	dir := t.TempDir()
-	c, err := New(8, dir)
+	c, err := New(Config{MaxEntries: 8, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := c.Put(key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
-			t.Fatal(err)
-		}
+		mustPut(t, c, key(i), []byte(fmt.Sprintf("v%d", i)))
 		// Distinct mod times so age ordering is unambiguous on coarse
 		// filesystem clocks.
 		past := time.Now().Add(time.Duration(i-10) * time.Hour)
@@ -134,7 +224,7 @@ func TestDirReloadKeepsNewest(t *testing.T) {
 	}
 	// Reload into a bound of 2: only the two newest survive, and the
 	// directory is trimmed to match.
-	re, err := New(2, dir)
+	re, err := New(Config{MaxEntries: 2, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +251,7 @@ func TestDirIgnoresForeignFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "nothex.json"), []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(8, dir)
+	c, err := New(Config{MaxEntries: 8, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +264,7 @@ func TestDirIgnoresForeignFiles(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	c, err := New(16, "")
+	c, err := New(Config{MaxEntries: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +277,7 @@ func TestConcurrentAccess(t *testing.T) {
 			for j := 0; j < 100; j++ {
 				k := key(j % 24)
 				if j%3 == 0 {
-					_ = c.Put(k, []byte(fmt.Sprintf("w%d", i)))
+					_, _ = c.Put(k, []byte(fmt.Sprintf("w%d", i)), time.Hour)
 				} else {
 					_, _ = c.Get(k)
 				}

@@ -12,13 +12,19 @@
 // same campaign legitimately yields different numbers run to run).
 //
 // Concurrent identical submissions collapse onto one run (singleflight
-// via the jobs registry), and concurrent distinct campaigns divide the
-// host under a shared parallelism budget instead of each assuming the
-// whole machine.
+// via the jobs registry), concurrent distinct campaigns divide the host
+// under a shared parallelism budget instead of each assuming the whole
+// machine, and an admission controller bounds how many runs execute and
+// wait at once — excess load is shed deterministically with 429 +
+// Retry-After rather than queued without bound.
+//
+// The wire contract itself (Campaign, JobStatus, the error envelope)
+// lives in the versioned rooftune/serve/v1 package; this package keeps
+// aliases for compatibility and owns only the behaviour — resolving a
+// wire campaign into session options.
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"time"
@@ -27,86 +33,33 @@ import (
 	"rooftune/internal/bench"
 	"rooftune/internal/core"
 	"rooftune/internal/units"
+	servev1 "rooftune/serve/v1"
 )
 
-// DimsSpec is one DGEMM search-space point on the wire.
-type DimsSpec struct {
-	N int `json:"n"`
-	M int `json:"m"`
-	K int `json:"k"`
-}
-
-// BudgetSpec overrides parts of the default evaluation budget (Table I
-// with the paper's best technique). Zero-valued fields keep defaults;
-// the flag pointers distinguish "unset" from an explicit false.
-type BudgetSpec struct {
-	Invocations   int   `json:"invocations,omitempty"`
-	MaxIterations int   `json:"maxIterations,omitempty"`
-	MaxTimeMs     int64 `json:"maxTimeMs,omitempty"`
-	Confidence    *bool `json:"confidence,omitempty"`
-	InnerBound    *bool `json:"innerBound,omitempty"`
-	OuterBound    *bool `json:"outerBound,omitempty"`
-	MinCount      int   `json:"minCount,omitempty"`
-}
-
-// Campaign is the wire form of a tuning request: which simulated system
-// to characterise, with which workloads, under which parameters. Every
-// field except System is optional and defaults exactly as the
-// corresponding rooftune option does, so an empty override set means
-// "the library's default campaign for this system".
-type Campaign struct {
-	// System names the simulated target (hw.Get). Required: the daemon
-	// serves simulated campaigns only.
-	System string `json:"system"`
-	// Workloads selects registered workloads, default ["dgemm","triad"].
-	Workloads []string `json:"workloads,omitempty"`
-	// Seed drives the simulated noise streams (default 1021, the paper
-	// seed).
-	Seed uint64 `json:"seed,omitempty"`
-	// Space overrides the DGEMM search space.
-	Space []DimsSpec `json:"space,omitempty"`
-	// Budget overrides parts of the evaluation budget.
-	Budget *BudgetSpec `json:"budget,omitempty"`
-	// TriadLoBytes / TriadHiBytes bound the TRIAD working-set sweep.
-	TriadLoBytes int64 `json:"triadLoBytes,omitempty"`
-	TriadHiBytes int64 `json:"triadHiBytes,omitempty"`
-	// TriadLevels selects cache-residency regions (subsets of
-	// L1/L2/L3/DRAM).
-	TriadLevels []string `json:"triadLevels,omitempty"`
-	// Chain enables cross-sweep incumbent chaining (WithSweepChaining).
-	Chain bool `json:"chain,omitempty"`
-	// SpMV / stencil shapes.
-	SpMVN         int `json:"spmvN,omitempty"`
-	SpMVNNZPerRow int `json:"spmvNNZPerRow,omitempty"`
-	StencilNX     int `json:"stencilNX,omitempty"`
-	StencilNY     int `json:"stencilNY,omitempty"`
-	// Serial forces serial sweep execution. Results are bit-identical
-	// either way; it exists so SSE consumers get a deterministic event
-	// order, not just a deterministic Result.
-	Serial bool `json:"serial,omitempty"`
-}
+// The wire types are defined in rooftune/serve/v1 (the versioned
+// contract pinned by api/serve_v1.txt); these aliases keep the serving
+// tier's internal code and tests on their historical names.
+type (
+	// Campaign is the wire form of a tuning request.
+	Campaign = servev1.Campaign
+	// DimsSpec is one DGEMM search-space point on the wire.
+	DimsSpec = servev1.DimsSpec
+	// BudgetSpec overrides parts of the default evaluation budget.
+	BudgetSpec = servev1.BudgetSpec
+)
 
 // ParseCampaign decodes a campaign, rejecting unknown fields — a typoed
 // knob must fail the request, not silently run the default campaign and
 // cache it under the wrong intent.
 func ParseCampaign(r io.Reader) (Campaign, error) {
-	var c Campaign
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&c); err != nil {
-		return c, fmt.Errorf("serve: parse campaign: %w", err)
-	}
-	if dec.More() {
-		return c, fmt.Errorf("serve: parse campaign: trailing data after the campaign object")
-	}
-	return c, nil
+	return servev1.ParseCampaign(r)
 }
 
-// Options resolves the campaign into session options. The case-shard
-// count is always pinned to one: adaptive sharding may change the
-// search-cost accounting run to run, which would break the cache's
-// byte-identity guarantee (see rooftune.Session.Fingerprint).
-func (c Campaign) Options() ([]rooftune.Option, error) {
+// CampaignOptions resolves a wire campaign into session options. The
+// case-shard count is always pinned to one: adaptive sharding may
+// change the search-cost accounting run to run, which would break the
+// cache's byte-identity guarantee (see rooftune.Session.Fingerprint).
+func CampaignOptions(c Campaign) ([]rooftune.Option, error) {
 	if c.System == "" {
 		return nil, fmt.Errorf("serve: campaign has no system: the daemon serves simulated campaigns only")
 	}
@@ -128,7 +81,7 @@ func (c Campaign) Options() ([]rooftune.Option, error) {
 		opts = append(opts, rooftune.WithSpace(dims))
 	}
 	if c.Budget != nil {
-		opts = append(opts, rooftune.WithBudget(c.Budget.resolve()))
+		opts = append(opts, rooftune.WithBudget(resolveBudget(*c.Budget)))
 	}
 	if c.TriadLoBytes != 0 || c.TriadHiBytes != 0 {
 		if c.TriadLoBytes < 0 || c.TriadHiBytes < 0 {
@@ -154,9 +107,9 @@ func (c Campaign) Options() ([]rooftune.Option, error) {
 	return opts, nil
 }
 
-// resolve applies the spec's overrides on top of the session default
-// budget (Table I, Confidence+Inner+Outer).
-func (b BudgetSpec) resolve() bench.Budget {
+// resolveBudget applies the spec's overrides on top of the session
+// default budget (Table I, Confidence+Inner+Outer).
+func resolveBudget(b BudgetSpec) bench.Budget {
 	out := bench.DefaultBudget().WithFlags(true, true, true)
 	if b.Invocations > 0 {
 		out.Invocations = b.Invocations

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"rooftune"
 )
@@ -27,14 +28,21 @@ import (
 // State is a job's lifecycle phase.
 type State string
 
-// Job lifecycle states. Terminal states are StateDone and StateFailed;
-// cancellation surfaces as StateFailed with a context error message.
+// Job lifecycle states. Terminal states are StateDone, StateFailed and
+// StateShed; cancellation surfaces as StateFailed with a context error
+// message, and admission refusals as StateShed with a retry-after hint.
 const (
 	StateQueued  State = "queued"
 	StateRunning State = "running"
 	StateDone    State = "done"
 	StateFailed  State = "failed"
+	StateShed    State = "shed"
 )
+
+// isTerminal reports whether a state admits no further transitions.
+func isTerminal(s State) bool {
+	return s == StateDone || s == StateFailed || s == StateShed
+}
 
 // Job is one tuning run under the daemon.
 type Job struct {
@@ -45,17 +53,18 @@ type Job struct {
 	// collapses concurrent identical submissions onto this job.
 	Key string
 
-	mu       sync.Mutex
-	state    State
-	errMsg   string
-	result   []byte
-	cached   bool
-	events   []rooftune.Event
-	notify   chan struct{}
-	done     chan struct{}
-	cancel   context.CancelFunc
-	watchers int
-	pinned   bool
+	mu         sync.Mutex
+	state      State
+	errMsg     string
+	result     []byte
+	cached     bool
+	retryAfter time.Duration
+	events     []rooftune.Event
+	notify     chan struct{}
+	done       chan struct{}
+	cancel     context.CancelFunc
+	watchers   int
+	pinned     bool
 
 	onTerminal func(*Job)
 }
@@ -69,6 +78,8 @@ type Snapshot struct {
 	Result []byte
 	Cached bool
 	Events int
+	// RetryAfter is the resubmission hint of a shed job; zero otherwise.
+	RetryAfter time.Duration
 }
 
 // Snapshot returns the job's current state.
@@ -76,13 +87,25 @@ func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Snapshot{
-		ID:     j.ID,
-		Key:    j.Key,
-		State:  j.state,
-		Err:    j.errMsg,
-		Result: j.result,
-		Cached: j.cached,
-		Events: len(j.events),
+		ID:         j.ID,
+		Key:        j.Key,
+		State:      j.state,
+		Err:        j.errMsg,
+		Result:     j.result,
+		Cached:     j.cached,
+		Events:     len(j.events),
+		RetryAfter: j.retryAfter,
+	}
+}
+
+// Arm installs the cancel function on a still-queued job so disconnect
+// cancellation and explicit Cancel reach it before it holds a run slot
+// (a job waiting in the admission queue must still be abortable).
+func (j *Job) Arm(cancel context.CancelFunc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.cancel = cancel
 	}
 }
 
@@ -121,9 +144,19 @@ func (j *Job) Fail(err error) {
 	j.terminal(StateFailed, err.Error(), nil, false)
 }
 
+// Shed completes the job as refused by admission control: it never held
+// a run slot and the client may resubmit after retryAfter. Every
+// singleflight joiner of the job observes the same refusal.
+func (j *Job) Shed(retryAfter time.Duration) {
+	j.mu.Lock()
+	j.retryAfter = retryAfter
+	j.mu.Unlock()
+	j.terminal(StateShed, "admission refused: daemon overloaded", nil, false)
+}
+
 func (j *Job) terminal(state State, errMsg string, result []byte, cached bool) {
 	j.mu.Lock()
-	if j.state == StateDone || j.state == StateFailed {
+	if isTerminal(j.state) {
 		j.mu.Unlock()
 		return // first completion wins; a late ctx error must not clobber a result
 	}
@@ -160,7 +193,7 @@ func (j *Job) EventsSince(i int) (evs []rooftune.Event, terminal bool, notify <-
 	if i < len(j.events) {
 		evs = append(evs, j.events[i:]...)
 	}
-	return evs, j.state == StateDone || j.state == StateFailed, j.notify
+	return evs, isTerminal(j.state), j.notify
 }
 
 // Wait blocks until the job reaches a terminal state or ctx is done.
@@ -290,4 +323,34 @@ func (r *Registry) Active() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.active)
+}
+
+// StateCounts tallies every remembered job by lifecycle state — the
+// jobs-by-state gauge family on /metrics. Job locks nest inside the
+// registry lock (the terminal hook runs outside the job lock, so the
+// reverse order never occurs).
+func (r *Registry) StateCounts() map[State]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counts := make(map[State]int, 5)
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+// Watchers sums the connected consumers (synchronous requests and SSE
+// streams) across all jobs — the SSE watcher-count gauge on /metrics.
+func (r *Registry) Watchers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		total += j.watchers
+		j.mu.Unlock()
+	}
+	return total
 }

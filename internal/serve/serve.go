@@ -3,26 +3,38 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"rooftune"
+	"rooftune/internal/serve/admit"
 	"rooftune/internal/serve/budget"
 	"rooftune/internal/serve/cache"
 	"rooftune/internal/serve/jobs"
+	"rooftune/internal/serve/metrics"
+	servev1 "rooftune/serve/v1"
 )
 
-// CacheHeader reports whether a response was served from the
-// content-addressed cache ("hit") or freshly measured ("miss").
-const CacheHeader = "X-Roofserve-Cache"
-
-// FingerprintHeader carries the campaign's content address on every
-// tuning response, so clients can correlate, pre-warm, or debug cache
-// behaviour.
-const FingerprintHeader = "X-Roofserve-Fingerprint"
-
-// JobHeader names the job that produced (or is producing) a response.
-const JobHeader = "X-Roofserve-Job"
+// The daemon's wire headers, defined in the versioned contract package;
+// aliased here for the serving tier's historical import paths.
+const (
+	// CacheHeader reports whether a response was served from the
+	// content-addressed cache ("hit") or freshly measured ("miss").
+	CacheHeader = servev1.CacheHeader
+	// FingerprintHeader carries the campaign's content address on every
+	// tuning response, so clients can correlate, pre-warm, or debug cache
+	// behaviour.
+	FingerprintHeader = servev1.FingerprintHeader
+	// JobHeader names the job that produced (or is producing) a response.
+	JobHeader = servev1.JobHeader
+	// ClientHeader identifies the submitting client for per-client fair
+	// queuing.
+	ClientHeader = servev1.ClientHeader
+)
 
 // Config configures a Server.
 type Config struct {
@@ -30,20 +42,45 @@ type Config struct {
 	CacheEntries int
 	// CacheDir, if set, persists cache entries across daemon restarts.
 	CacheDir string
+	// CacheTTL bounds every cache entry's lifetime (<=0: entries never
+	// expire). Disk-persisted entries honor the TTL across restarts.
+	CacheTTL time.Duration
+	// CacheMinRun is the cache admission floor: results measured in less
+	// than this are not cached — they are cheaper to recompute than to
+	// hold an eviction slot (<=0: everything is cached).
+	CacheMinRun time.Duration
 	// Parallelism is the host-parallelism capacity divided among
 	// concurrent runs (<=0: GOMAXPROCS).
 	Parallelism int
+	// MaxJobs bounds concurrently running jobs (<=0: unlimited, which
+	// also disables queuing and shedding).
+	MaxJobs int
+	// QueueDepth bounds how many admitted jobs may wait for a run slot
+	// across all clients; beyond it requests are shed with 429 (<=0 with
+	// MaxJobs set: no queue — every excess request is shed).
+	QueueDepth int
+	// PerClientQueue bounds the queue share of any one client (keyed by
+	// ClientHeader, falling back to the remote address), so one flood
+	// cannot fill the whole queue (<=0: only QueueDepth bounds it).
+	PerClientQueue int
+	// RetryAfter is the hint carried on every shed response (<=0: 1s).
+	// It is fixed configuration, not an estimate, so tests and clients
+	// can rely on exact values.
+	RetryAfter time.Duration
 }
 
-// Server is the daemon: routing, the job registry, the result cache and
-// the shared host budget. Construct with New, mount via Handler, and
-// cancel the context passed to New to abort every in-flight run on
-// shutdown.
+// Server is the daemon: routing, the job registry, the result cache,
+// the admission controller, the shared host budget and the metrics
+// plane. Construct with New, mount via Handler, and cancel the context
+// passed to New to abort every in-flight run on shutdown.
 type Server struct {
-	base   context.Context
-	cache  *cache.Cache
-	reg    *jobs.Registry
-	budget *budget.Budget
+	base    context.Context
+	cfg     Config
+	cache   *cache.Cache
+	reg     *jobs.Registry
+	budget  *budget.Budget
+	adm     *admit.Controller
+	metrics *metrics.Set
 }
 
 // New builds a Server. base bounds every job the daemon starts: cancel
@@ -52,16 +89,90 @@ func New(base context.Context, cfg Config) (*Server, error) {
 	if base == nil {
 		base = context.Background()
 	}
-	c, err := cache.New(cfg.CacheEntries, cfg.CacheDir)
+	c, err := cache.New(cache.Config{
+		MaxEntries: cfg.CacheEntries,
+		Dir:        cfg.CacheDir,
+		TTL:        cfg.CacheTTL,
+		MinCost:    cfg.CacheMinRun,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	return &Server{
-		base:   base,
-		cache:  c,
-		reg:    jobs.NewRegistry(),
-		budget: budget.New(cfg.Parallelism),
-	}, nil
+	s := &Server{
+		base:    base,
+		cfg:     cfg,
+		cache:   c,
+		reg:     jobs.NewRegistry(),
+		budget:  budget.New(cfg.Parallelism),
+		metrics: metrics.NewSet(),
+	}
+	waitHist := s.metrics.Histogram("roofserve_admission_wait_seconds",
+		"Time admitted jobs spent queued for a run slot.",
+		[]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 30})
+	s.adm = admit.New(admit.Config{
+		MaxJobs:    cfg.MaxJobs,
+		QueueDepth: cfg.QueueDepth,
+		PerClient:  cfg.PerClientQueue,
+		RetryAfter: cfg.RetryAfter,
+	}, func(wait time.Duration) { waitHist.Observe(wait.Seconds()) })
+	s.registerMetrics()
+	return s, nil
+}
+
+// registerMetrics wires the pull side of the metrics plane: every gauge
+// and counter below reads its component's own accounting at scrape
+// time, so /metrics reconciles exactly with /v1/stats and with the
+// cache headers the daemon sent.
+func (s *Server) registerMetrics() {
+	m := s.metrics
+	m.CounterFunc("roofserve_cache_hits_total", "",
+		"Lookups answered from the content-addressed result cache.",
+		func() uint64 { return s.cache.Stats().Hits })
+	m.CounterFunc("roofserve_cache_misses_total", "",
+		"Lookups that required a fresh measurement (TTL expiries included).",
+		func() uint64 { return s.cache.Stats().Misses })
+	m.CounterFunc("roofserve_cache_evictions_total", "",
+		"Entries evicted by the LRU bound.",
+		func() uint64 { return s.cache.Stats().Evictions })
+	m.CounterFunc("roofserve_cache_expired_total", "",
+		"Lookups that found only a TTL-expired entry.",
+		func() uint64 { return s.cache.Stats().Expired })
+	m.CounterFunc("roofserve_cache_rejected_total", "",
+		"Results refused by the cache admission floor (cheaper to recompute).",
+		func() uint64 { return s.cache.Stats().Rejected })
+	m.GaugeFunc("roofserve_cache_entries", "",
+		"Resident cache entries.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	for _, st := range []jobs.State{jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateShed} {
+		st := st
+		m.GaugeFunc("roofserve_jobs", fmt.Sprintf("state=%q", string(st)),
+			"Jobs the registry remembers, by lifecycle state.",
+			func() float64 { return float64(s.reg.StateCounts()[st]) })
+	}
+	m.GaugeFunc("roofserve_job_watchers", "",
+		"Connected consumers (synchronous waits and SSE streams) across all jobs.",
+		func() float64 { return float64(s.reg.Watchers()) })
+	m.CounterFunc("roofserve_admission_granted_total", "",
+		"Admissions that obtained a run slot (immediately or after queuing).",
+		func() uint64 { return s.adm.Stats().Granted })
+	m.CounterFunc("roofserve_admission_shed_total", `reason="queue_full"`,
+		"Requests shed by admission control, by reason.",
+		func() uint64 { return s.adm.Stats().ShedQueueFull })
+	m.CounterFunc("roofserve_admission_shed_total", `reason="client_quota"`,
+		"Requests shed by admission control, by reason.",
+		func() uint64 { return s.adm.Stats().ShedClientQuota })
+	m.GaugeFunc("roofserve_admission_queue_depth", "",
+		"Admitted jobs currently waiting for a run slot.",
+		func() float64 { return float64(s.adm.Stats().Queued) })
+	m.GaugeFunc("roofserve_budget_capacity", "",
+		"Host-parallelism capacity divided among concurrent runs.",
+		func() float64 { return float64(s.budget.Capacity()) })
+	m.GaugeFunc("roofserve_budget_active", "",
+		"Outstanding host-parallelism leases.",
+		func() float64 { return float64(s.budget.Active()) })
+	m.CounterFunc("roofserve_budget_contended_total", "",
+		"Lease acquisitions that shared the host with other active runs.",
+		func() uint64 { return s.budget.Contended() })
 }
 
 // Handler returns the daemon's HTTP API:
@@ -72,7 +183,8 @@ func New(base context.Context, cfg Config) (*Server, error) {
 //	GET    /v1/jobs/{id}/events SSE stream of the job's progress events
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/healthz          liveness
-//	GET    /v1/stats            cache / budget / registry counters
+//	GET    /v1/stats            cache / admission / budget / registry counters
+//	GET    /metrics             Prometheus text-format exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
@@ -85,7 +197,24 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics)
 	return mux
+}
+
+// clientID keys per-client fair queuing: the ClientHeader when the
+// client identifies itself, else the connection's remote host, else a
+// shared anonymous bucket.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(ClientHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	if r.RemoteAddr != "" {
+		return r.RemoteAddr
+	}
+	return "anonymous"
 }
 
 // resolve parses a campaign and computes its fingerprint — the cache
@@ -98,7 +227,7 @@ func (s *Server) resolve(r *http.Request) (key string, opts []rooftune.Option, e
 	if err != nil {
 		return "", nil, err
 	}
-	opts, err = campaign.Options()
+	opts, err = CampaignOptions(campaign)
 	if err != nil {
 		return "", nil, err
 	}
@@ -114,25 +243,47 @@ func (s *Server) resolve(r *http.Request) (key string, opts []rooftune.Option, e
 }
 
 // launch returns the in-flight job for the fingerprint, starting a run
-// if none exists. Exactly one concurrent caller per fingerprint starts
-// a run; the rest join it.
-func (s *Server) launch(key string, opts []rooftune.Option) *jobs.Job {
+// if none exists. Exactly one concurrent caller per fingerprint passes
+// admission and starts a run; the rest join whatever admission decided
+// — including a shed (an identical flood costs one admission slot, not
+// N). A shed job is terminal immediately, so every joiner observes the
+// refusal and a later resubmission gets a fresh admission attempt.
+func (s *Server) launch(key, client string, opts []rooftune.Option) *jobs.Job {
 	job, created := s.reg.GetOrCreate(key)
 	if !created {
 		return job
 	}
+	ticket, err := s.adm.Admit(client)
+	if err != nil {
+		var shed *admit.ShedError
+		if errors.As(err, &shed) {
+			job.Shed(shed.RetryAfter)
+		} else {
+			job.Fail(fmt.Errorf("serve: job %s: admission: %w", job.ID, err))
+		}
+		return job
+	}
 	ctx, cancel := context.WithCancel(s.base)
-	job.Start(cancel)
+	// Arm before the goroutine runs: a job cancelled while it waits in
+	// the admission queue must release its ticket, not its run.
+	job.Arm(cancel)
 	//rooflint:allow nogoroutine -- job executor; bounded by s.base, joined by job.Wait/terminal state before anyone reads the result
-	go s.run(ctx, cancel, job, opts)
+	go s.run(ctx, cancel, job, ticket, opts)
 	return job
 }
 
-// run executes one job: acquire a host-budget lease, build the job's
-// session (progress wired to the job's event history, host parallelism
-// capped to the lease's share), run it, serialize, cache, finish.
-func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.Job, opts []rooftune.Option) {
+// run executes one job: wait out the admission queue, move the job to
+// running, acquire a host-budget lease, build the job's session
+// (progress wired to the job's event history, host parallelism capped
+// to the lease's share), run it, serialize, cache, finish.
+func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.Job, ticket *admit.Ticket, opts []rooftune.Option) {
 	defer cancel()
+	if err := ticket.Wait(ctx); err != nil {
+		job.Fail(fmt.Errorf("serve: job %s: cancelled while queued: %w", job.ID, err))
+		return
+	}
+	defer ticket.Release()
+	job.Start(cancel)
 	lease := s.budget.Acquire()
 	defer lease.Release()
 	opts = append(opts,
@@ -144,19 +295,22 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.J
 		job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
 		return
 	}
+	started := time.Now()
 	res, err := sess.Run(ctx)
 	if err != nil {
 		job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
 		return
 	}
+	cost := time.Since(started)
 	data, err := json.Marshal(res)
 	if err != nil {
 		job.Fail(fmt.Errorf("serve: job %s: serialize: %w", job.ID, err))
 		return
 	}
-	if err := s.cache.Put(job.Key, data); err != nil {
+	if _, err := s.cache.Put(job.Key, data, cost); err != nil {
 		// The run still succeeded; an uncacheable result is the job's
-		// problem to report, not to hide.
+		// problem to report, not to hide. (A MinCost rejection is not an
+		// error — the result simply is not worth a cache slot.)
 		job.Fail(fmt.Errorf("serve: job %s: cache: %w", job.ID, err))
 		return
 	}
@@ -171,7 +325,7 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.J
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	key, opts, err := s.resolve(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, servev1.CodeBadCampaign, err, 0)
 		return
 	}
 	w.Header().Set(FingerprintHeader, key)
@@ -179,42 +333,37 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, data, true)
 		return
 	}
-	job := s.launch(key, opts)
+	job := s.launch(key, clientID(r), opts)
 	w.Header().Set(JobHeader, job.ID)
 	job.AddWatcher()
 	defer job.RemoveWatcher()
 	if err := job.Wait(r.Context()); err != nil {
 		// The client is gone; nobody will read this, but be well-formed.
-		httpError(w, 499, fmt.Errorf("serve: client closed request: %w", err))
+		writeError(w, 499, servev1.CodeClientClosed, fmt.Errorf("serve: client closed request: %w", err), 0)
 		return
 	}
 	snap := job.Snapshot()
-	if snap.State == jobs.StateFailed {
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("%s", snap.Err))
-		return
+	switch snap.State {
+	case jobs.StateShed:
+		writeError(w, http.StatusTooManyRequests, servev1.CodeOverloaded,
+			errors.New("serve: overloaded: admission refused, retry later"), snap.RetryAfter)
+	case jobs.StateFailed:
+		writeError(w, http.StatusInternalServerError, servev1.CodeJobFailed, errors.New(snap.Err), 0)
+	default:
+		writeResult(w, snap.Result, snap.Cached)
 	}
-	writeResult(w, snap.Result, snap.Cached)
 }
 
-// jobStatus is the wire form of GET /v1/jobs/{id} and POST /v1/jobs.
-type jobStatus struct {
-	ID     string          `json:"id"`
-	Key    string          `json:"fingerprint"`
-	State  jobs.State      `json:"state"`
-	Cached bool            `json:"cached,omitempty"`
-	Events int             `json:"events"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
-}
-
-func statusOf(snap jobs.Snapshot) jobStatus {
-	st := jobStatus{
-		ID:     snap.ID,
-		Key:    snap.Key,
-		State:  snap.State,
-		Cached: snap.Cached,
-		Events: snap.Events,
-		Error:  snap.Err,
+// statusOf renders a registry snapshot as the versioned wire status.
+func statusOf(snap jobs.Snapshot) servev1.JobStatus {
+	st := servev1.JobStatus{
+		ID:                snap.ID,
+		Fingerprint:       snap.Key,
+		State:             servev1.State(snap.State),
+		Cached:            snap.Cached,
+		Events:            snap.Events,
+		Error:             snap.Err,
+		RetryAfterSeconds: retrySeconds(snap.RetryAfter),
 	}
 	if snap.State == jobs.StateDone {
 		st.Result = snap.Result
@@ -225,11 +374,11 @@ func statusOf(snap jobs.Snapshot) jobStatus {
 // handleSubmit is the asynchronous path: the job is pinned (its client
 // polls; holding no connection is its normal state) and the response is
 // its handle. A cache hit mints an already-done job so clients have one
-// uniform flow.
+// uniform flow; a shed admission answers 429 like the synchronous path.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	key, opts, err := s.resolve(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, servev1.CodeBadCampaign, err, 0)
 		return
 	}
 	w.Header().Set(FingerprintHeader, key)
@@ -244,16 +393,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, statusOf(job.Snapshot()))
 		return
 	}
-	job := s.launch(key, opts)
+	job := s.launch(key, clientID(r), opts)
 	job.Pin()
 	w.Header().Set(JobHeader, job.ID)
-	writeJSON(w, http.StatusAccepted, statusOf(job.Snapshot()))
+	snap := job.Snapshot()
+	if snap.State == jobs.StateShed {
+		writeError(w, http.StatusTooManyRequests, servev1.CodeOverloaded,
+			errors.New("serve: overloaded: admission refused, retry later"), snap.RetryAfter)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, statusOf(snap))
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, servev1.CodeNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")), 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, statusOf(job.Snapshot()))
@@ -267,12 +422,12 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, servev1.CodeNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")), 0)
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: response writer cannot stream"))
+		writeError(w, http.StatusInternalServerError, servev1.CodeInternal, fmt.Errorf("serve: response writer cannot stream"), 0)
 		return
 	}
 	job.AddWatcher()
@@ -317,7 +472,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, servev1.CodeNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")), 0)
 		return
 	}
 	job.Cancel()
@@ -326,10 +481,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cache": s.cache.Stats(),
-		"budget": map[string]int{
-			"capacity": s.budget.Capacity(),
-			"active":   s.budget.Active(),
+		"cache":     s.cache.Stats(),
+		"admission": s.adm.Stats(),
+		"budget": map[string]any{
+			"capacity":  s.budget.Capacity(),
+			"active":    s.budget.Active(),
+			"contended": s.budget.Contended(),
 		},
 		"jobs": map[string]int{
 			"total":  s.reg.Len(),
@@ -358,8 +515,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// retrySeconds renders a retry hint in whole seconds, rounded up so the
+// header never promises an earlier retry than the hint allows.
+func retrySeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
+}
+
+// writeError writes the versioned structured error envelope; a non-zero
+// retryAfter additionally sets the standard Retry-After header.
+func writeError(w http.ResponseWriter, code int, ec servev1.ErrorCode, err error, retryAfter time.Duration) {
 	w.Header().Set("Content-Type", "application/json")
+	secs := retrySeconds(retryAfter)
+	if secs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	_ = json.NewEncoder(w).Encode(servev1.ErrorEnvelope{Error: servev1.Error{
+		Code:              ec,
+		Message:           err.Error(),
+		RetryAfterSeconds: secs,
+	}})
 }

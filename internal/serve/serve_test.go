@@ -148,7 +148,7 @@ func TestTuneBitIdenticalToInProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts, err := campaign.Options()
+	opts, err := CampaignOptions(campaign)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestSSEMatchesWithProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts, err := parsed.Options()
+	opts, err := CampaignOptions(parsed)
 	if err != nil {
 		t.Fatal(err)
 	}
