@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -110,6 +111,7 @@ type Client struct {
 	retries  int
 	backoff  time.Duration
 	poll     time.Duration
+	jitter   func() float64 // [0,1) retry-jitter source; tests inject a fixed one
 }
 
 // New builds a client for the daemon at base (scheme optional; bare
@@ -124,6 +126,7 @@ func New(base string, opts ...Option) *Client {
 		retries: 2,
 		backoff: 250 * time.Millisecond,
 		poll:    50 * time.Millisecond,
+		jitter:  rand.Float64,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -351,17 +354,28 @@ func (c *Client) withRetry(ctx context.Context, attempt func() error) error {
 		if !ok || !re.Temporary() || tries >= c.retries {
 			return err
 		}
-		wait := delay
-		if re.RetryAfter > 0 {
-			wait = re.RetryAfter
-		}
 		select {
-		case <-time.After(wait):
+		case <-time.After(c.retryWait(delay, re)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
 		delay *= 2
 	}
+}
+
+// retryWait computes the sleep before the next attempt: the daemon's
+// Retry-After hint when one was sent, else the client's own backoff,
+// plus additive bounded jitter of up to +25% — never below the hint.
+// The daemon hands every shed client the same fixed Retry-After, so
+// sleeping it exactly would re-flood the admission queue in lockstep
+// and shed the same cohort again; spreading the retries keeps the
+// hint's promise (never earlier) while breaking the synchronization.
+func (c *Client) retryWait(delay time.Duration, re *Error) time.Duration {
+	wait := delay
+	if re.RetryAfter > 0 {
+		wait = re.RetryAfter
+	}
+	return wait + time.Duration(c.jitter()*0.25*float64(wait))
 }
 
 // asError unwraps a typed daemon error.

@@ -281,3 +281,46 @@ func TestBaseURLNormalization(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryJitterDesynchronizesLockstep is the regression test for the
+// lockstep re-flood: a fixed Retry-After slept exactly means every shed
+// client retries at the same instant and the same cohort sheds again.
+// The wait must honor the hint as a floor, stay within +25%, and differ
+// across clients.
+func TestRetryJitterDesynchronizesLockstep(t *testing.T) {
+	re := &Error{Status: http.StatusTooManyRequests, RetryAfter: 4 * time.Second}
+
+	floor := New("h")
+	floor.jitter = func() float64 { return 0 }
+	if got := floor.retryWait(time.Second, re); got != 4*time.Second {
+		t.Fatalf("zero-jitter wait = %s, want exactly the 4s hint", got)
+	}
+
+	ceil := New("h")
+	ceil.jitter = func() float64 { return 0.9999 }
+	if got := ceil.retryWait(time.Second, re); got < 4*time.Second || got > 5*time.Second {
+		t.Fatalf("max-jitter wait = %s, want within [4s, 5s] (hint + 25%%)", got)
+	}
+
+	// Without a hint the backoff gets the same treatment.
+	noHint := &Error{Status: http.StatusTooManyRequests}
+	if got := ceil.retryWait(time.Second, noHint); got < time.Second || got > 1250*time.Millisecond {
+		t.Fatalf("backoff wait = %s, want within [1s, 1.25s]", got)
+	}
+
+	// The real point: a fleet of default clients must not share one
+	// wait. All-identical draws from the default source mean the jitter
+	// is not wired at all.
+	waits := make(map[time.Duration]bool)
+	for i := 0; i < 64; i++ {
+		waits[New("h").retryWait(time.Second, re)] = true
+	}
+	if len(waits) < 2 {
+		t.Fatalf("64 default clients computed %d distinct waits — retries are still lockstep", len(waits))
+	}
+	for w := range waits {
+		if w < 4*time.Second {
+			t.Fatalf("jittered wait %s undercuts the 4s Retry-After hint", w)
+		}
+	}
+}

@@ -45,11 +45,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"rooftune/internal/serve"
 )
+
+// splitWorkers parses the -workers flag: comma-separated base URLs,
+// empty elements dropped, trailing slashes trimmed so path joining is
+// uniform.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -63,6 +78,9 @@ func main() {
 		queueDepth     = flag.Int("queue-depth", 0, "max admitted jobs waiting for a run slot; excess requests are shed with 429")
 		perClientQueue = flag.Int("per-client-queue", 0, "max queue slots any one client may hold (0 = only -queue-depth bounds it)")
 		retryAfter     = flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = 1s)")
+		workers        = flag.String("workers", "", "comma-separated roofworkerd base URLs; non-empty runs the daemon as the distributed coordinator")
+		workerHB       = flag.Duration("worker-heartbeat", 0, "worker health-probe interval (0 = 2s)")
+		workerLease    = flag.Duration("worker-lease", 0, "how long one node dispatch may stay unanswered before requeue (0 = 60s)")
 	)
 	flag.Parse()
 
@@ -72,15 +90,18 @@ func main() {
 	defer cancelRuns()
 
 	srv, err := serve.New(base, serve.Config{
-		CacheEntries:   *cacheEntries,
-		CacheDir:       *cacheDir,
-		CacheTTL:       *cacheTTL,
-		CacheMinRun:    *cacheMinRun,
-		Parallelism:    *parallelism,
-		MaxJobs:        *maxJobs,
-		QueueDepth:     *queueDepth,
-		PerClientQueue: *perClientQueue,
-		RetryAfter:     *retryAfter,
+		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
+		CacheTTL:        *cacheTTL,
+		CacheMinRun:     *cacheMinRun,
+		Parallelism:     *parallelism,
+		MaxJobs:         *maxJobs,
+		QueueDepth:      *queueDepth,
+		PerClientQueue:  *perClientQueue,
+		RetryAfter:      *retryAfter,
+		Workers:         splitWorkers(*workers),
+		WorkerHeartbeat: *workerHB,
+		WorkerLease:     *workerLease,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "roofserved:", err)

@@ -107,6 +107,19 @@ type Tuner struct {
 	// configuration can end up outer-pruned; Result.BestPruned reports
 	// when the returned Best is such a salvage value.
 	Incumbent float64
+	// Shared, when non-nil, is an externally owned monotone incumbent
+	// the search both reads and feeds: each evaluation prunes against
+	// the higher of the local incumbent and the shared bound at that
+	// moment, and every non-pruned mean is offered back. It exists for
+	// distributed execution — a coordinator pushes bounds into a
+	// worker's running search mid-sweep — and inherits the CAS-max
+	// protocol's guarantees: offers only ever raise the bound, so
+	// replayed, reordered or duplicate pushes are harmless, and a bound
+	// is only ever a measured mean of the same metric, so the winner is
+	// unchanged — only PrunedCount/TotalSamples can move (toward more
+	// pruning). A sharded run (Shards > 1) uses Shared directly as its
+	// workers' incumbent.
+	Shared *bench.AtomicIncumbent
 }
 
 // NewTuner builds a tuner with the given evaluation budget on the clock.
@@ -190,13 +203,25 @@ func (t *Tuner) runSerial(ctx context.Context, ordered []bench.Case) ([]*bench.O
 	outs := make([]*bench.Outcome, 0, len(ordered))
 	best := t.seedBound()
 	for _, c := range ordered {
-		out, err := t.Evaluator.Evaluate(ctx, c, bench.Fixed(best))
+		bound := best
+		if t.Shared != nil {
+			// An externally pushed bound is a measured mean of the same
+			// metric, so pruning against it is as sound as pruning
+			// against a local win — see Shared.
+			if sb := t.Shared.Bound(); sb > bound {
+				bound = sb
+			}
+		}
+		out, err := t.Evaluator.Evaluate(ctx, c, bench.Fixed(bound))
 		if err != nil {
 			return nil, err
 		}
 		outs = append(outs, out)
 		if out.Better(best) {
 			best = out.Mean
+		}
+		if t.Shared != nil && !out.Pruned {
+			t.Shared.Offer(out.Mean)
 		}
 		if t.OnOutcome != nil {
 			t.OnOutcome(out)
@@ -217,11 +242,14 @@ func (t *Tuner) runSharded(ctx context.Context, ordered []bench.Case) ([]*bench.
 	var (
 		outs   = make([]*bench.Outcome, len(ordered))
 		errs   = make([]error, len(ordered))
-		inc    = bench.NewAtomicIncumbent()
+		inc    = t.Shared
 		next   atomic.Int64
 		failed atomic.Bool
 		wg     sync.WaitGroup
 	)
+	if inc == nil {
+		inc = bench.NewAtomicIncumbent()
+	}
 	inc.Offer(t.seedBound())
 	for w := 0; w < shards; w++ {
 		wg.Add(1)

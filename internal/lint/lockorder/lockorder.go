@@ -50,6 +50,7 @@ var lockedPackages = []string{
 	"internal/serve/budget",
 	"internal/serve/metrics",
 	"internal/parallel",
+	"internal/dist",
 }
 
 // acquisition records one "to acquired while from held" observation.

@@ -1,0 +1,34 @@
+// Package distv1 is a fixture mirroring the distributed-sweep wire
+// contract: node specs, outcomes, bound updates and the error-code
+// enumeration coordinators and workers dispatch on.
+package distv1
+
+// ErrorCode classifies a worker refusal.
+type ErrorCode string
+
+const (
+	CodeBadRequest ErrorCode = "bad_request"
+	CodeNodeFailed ErrorCode = "node_failed"
+)
+
+// NodeSpec is one dispatched plan-graph node.
+type NodeSpec struct {
+	Schema      string  `json:"schema"`
+	NodeID      string  `json:"nodeId"`
+	SeedValue   float64 `json:"seedValue,omitempty"`
+	Fingerprint string  `json:"fingerprint"`
+}
+
+// NodeOutcome is a completed node's answer.
+type NodeOutcome struct {
+	Schema string  `json:"schema"`
+	NodeID string  `json:"nodeId"`
+	Value  float64 `json:"value"`
+}
+
+// BoundUpdate pushes a monotone incumbent bound.
+type BoundUpdate struct {
+	Schema      string  `json:"schema"`
+	Fingerprint string  `json:"fingerprint"`
+	Value       float64 `json:"value"`
+}

@@ -1,0 +1,22 @@
+// Package distv1 is a fixture whose dist golden is stale in every
+// drift class: the golden still lists a deleted field (worker) and a
+// deleted enum member (CodeBadNode), records value with its old type
+// and CodeNodeFailed with its old value, and does not know elapsedNs
+// yet.
+package distv1 // want `dist/v1 contract entry removed: "distv1 NodeOutcome\.worker = string" \(golden api/dist_v1\.txt\)` `dist/v1 contract entry removed: "enum ErrorCode\.CodeBadNode = bad_node" \(golden api/dist_v1\.txt\)`
+
+// ErrorCode classifies a worker refusal.
+type ErrorCode string // want `dist/v1 contract entry changed: enum ErrorCode\.CodeNodeFailed is now "exec_failed", golden api/dist_v1\.txt has "node_failed"`
+
+const (
+	CodeBadRequest ErrorCode = "bad_request"
+	CodeNodeFailed ErrorCode = "exec_failed"
+)
+
+// NodeOutcome is a completed node's answer.
+type NodeOutcome struct { // want `dist/v1 contract entry changed: distv1 NodeOutcome\.value is now "int64", golden api/dist_v1\.txt has "float64"` `dist/v1 contract entry "distv1 NodeOutcome\.elapsedNs = int64" not in the wire golden; declare the addition with rooflint -write-goldens`
+	Schema    string `json:"schema"`
+	NodeID    string `json:"nodeId"`
+	Value     int64  `json:"value"`
+	ElapsedNs int64  `json:"elapsedNs"`
+}

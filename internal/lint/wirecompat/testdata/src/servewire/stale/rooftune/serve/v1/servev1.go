@@ -13,7 +13,7 @@ const (
 )
 
 // JobStatus is a wire response shape.
-type JobStatus struct { // want `serve/v1 contract entry changed: servev1 JobStatus\.id is now "int", golden api/serve_v1\.txt has "string"` `serve/v1 contract entry "servev1 JobStatus\.note = string" not in the serve wire golden; declare the addition with rooflint -write-goldens`
+type JobStatus struct { // want `serve/v1 contract entry changed: servev1 JobStatus\.id is now "int", golden api/serve_v1\.txt has "string"` `serve/v1 contract entry "servev1 JobStatus\.note = string" not in the wire golden; declare the addition with rooflint -write-goldens`
 	ID    int    `json:"id"`
 	Note  string `json:"note"`
 	State State  `json:"state"`

@@ -27,6 +27,14 @@ func TestServeWireCompat(t *testing.T) {
 	linttest.Run(t, wirecompat.Analyzer, "./testdata/src/servewire/...")
 }
 
+// TestDistWireCompat runs the dist/v1 fixture trees: ok matches its
+// contract golden, stale exercises field removal, retype, addition,
+// enum-member removal and enum revaluing against the distributed-sweep
+// contract.
+func TestDistWireCompat(t *testing.T) {
+	linttest.Run(t, wirecompat.Analyzer, "./testdata/src/distwire/...")
+}
+
 // TestWriteGoldensHeals proves the stale fixture checks clean after
 // write mode regenerates its golden, and that write mode is idempotent
 // on the clean ok fixture (its two-section golden comes back
@@ -37,6 +45,8 @@ func TestWriteGoldensHeals(t *testing.T) {
 		"testdata/src/wire/stale/rooftune/api/wire_v1.txt",
 		"testdata/src/servewire/ok/rooftune/api/serve_v1.txt",
 		"testdata/src/servewire/stale/rooftune/api/serve_v1.txt",
+		"testdata/src/distwire/ok/rooftune/api/dist_v1.txt",
+		"testdata/src/distwire/stale/rooftune/api/dist_v1.txt",
 	}
 	saved := map[string][]byte{}
 	for _, p := range paths {
@@ -57,7 +67,8 @@ func TestWriteGoldensHeals(t *testing.T) {
 
 	pkgs, err := lint.Load(".",
 		"./testdata/src/wire/ok/...", "./testdata/src/wire/stale/...",
-		"./testdata/src/servewire/ok/...", "./testdata/src/servewire/stale/...")
+		"./testdata/src/servewire/ok/...", "./testdata/src/servewire/stale/...",
+		"./testdata/src/distwire/ok/...", "./testdata/src/distwire/stale/...")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +93,7 @@ func TestWriteGoldensHeals(t *testing.T) {
 	if diags := run(); len(diags) != 0 {
 		t.Errorf("tree still dirty after -write-goldens: %v", diags)
 	}
-	for _, p := range []string{paths[0], paths[2]} {
+	for _, p := range []string{paths[0], paths[2], paths[4]} {
 		now, err := os.ReadFile(p)
 		if err != nil {
 			t.Fatal(err)

@@ -18,21 +18,25 @@
 // wait at once — excess load is shed deterministically with 429 +
 // Retry-After rather than queued without bound.
 //
+// With workers configured (Config.Workers), the daemon additionally
+// runs as the distributed tier's coordinator: cache and admission stay
+// in front, but each admitted campaign's plan-graph nodes fan out to
+// roofworkerd processes over the rooftune/dist/v1 contract, with
+// lease-based requeue from dead or slow workers and graceful local
+// fallback — see internal/dist.
+//
 // The wire contract itself (Campaign, JobStatus, the error envelope)
-// lives in the versioned rooftune/serve/v1 package; this package keeps
-// aliases for compatibility and owns only the behaviour — resolving a
-// wire campaign into session options.
+// lives in the versioned rooftune/serve/v1 package, and resolving a
+// wire campaign into session options lives in internal/serve/campaign
+// (shared with the distributed workers); this package keeps aliases for
+// compatibility and owns the daemon behaviour.
 package serve
 
 import (
-	"fmt"
 	"io"
-	"time"
 
 	"rooftune"
-	"rooftune/internal/bench"
-	"rooftune/internal/core"
-	"rooftune/internal/units"
+	"rooftune/internal/serve/campaign"
 	servev1 "rooftune/serve/v1"
 )
 
@@ -52,85 +56,12 @@ type (
 // knob must fail the request, not silently run the default campaign and
 // cache it under the wrong intent.
 func ParseCampaign(r io.Reader) (Campaign, error) {
-	return servev1.ParseCampaign(r)
+	return campaign.Parse(r)
 }
 
-// CampaignOptions resolves a wire campaign into session options. The
-// case-shard count is always pinned to one: adaptive sharding may
-// change the search-cost accounting run to run, which would break the
-// cache's byte-identity guarantee (see rooftune.Session.Fingerprint).
+// CampaignOptions resolves a wire campaign into session options — see
+// internal/serve/campaign, which the distributed workers share so a
+// node spec resolves identically on every process.
 func CampaignOptions(c Campaign) ([]rooftune.Option, error) {
-	if c.System == "" {
-		return nil, fmt.Errorf("serve: campaign has no system: the daemon serves simulated campaigns only")
-	}
-	opts := []rooftune.Option{
-		rooftune.WithSystem(c.System),
-		rooftune.WithCaseShards(1),
-	}
-	if len(c.Workloads) > 0 {
-		opts = append(opts, rooftune.WithWorkloads(c.Workloads...))
-	}
-	if c.Seed != 0 {
-		opts = append(opts, rooftune.WithSeed(c.Seed))
-	}
-	if len(c.Space) > 0 {
-		dims := make([]core.Dims, len(c.Space))
-		for i, d := range c.Space {
-			dims[i] = core.Dims{N: d.N, M: d.M, K: d.K}
-		}
-		opts = append(opts, rooftune.WithSpace(dims))
-	}
-	if c.Budget != nil {
-		opts = append(opts, rooftune.WithBudget(resolveBudget(*c.Budget)))
-	}
-	if c.TriadLoBytes != 0 || c.TriadHiBytes != 0 {
-		if c.TriadLoBytes < 0 || c.TriadHiBytes < 0 {
-			return nil, fmt.Errorf("serve: negative TRIAD bounds %d..%d", c.TriadLoBytes, c.TriadHiBytes)
-		}
-		opts = append(opts, rooftune.WithTriadRange(units.ByteSize(c.TriadLoBytes), units.ByteSize(c.TriadHiBytes)))
-	}
-	if len(c.TriadLevels) > 0 {
-		opts = append(opts, rooftune.WithTriadLevels(c.TriadLevels...))
-	}
-	if c.Chain {
-		opts = append(opts, rooftune.WithSweepChaining(true))
-	}
-	if c.SpMVN != 0 || c.SpMVNNZPerRow != 0 {
-		opts = append(opts, rooftune.WithSpMVShape(c.SpMVN, c.SpMVNNZPerRow))
-	}
-	if c.StencilNX != 0 || c.StencilNY != 0 {
-		opts = append(opts, rooftune.WithStencilGrid(c.StencilNX, c.StencilNY))
-	}
-	if c.Serial {
-		opts = append(opts, rooftune.WithSerial())
-	}
-	return opts, nil
-}
-
-// resolveBudget applies the spec's overrides on top of the session
-// default budget (Table I, Confidence+Inner+Outer).
-func resolveBudget(b BudgetSpec) bench.Budget {
-	out := bench.DefaultBudget().WithFlags(true, true, true)
-	if b.Invocations > 0 {
-		out.Invocations = b.Invocations
-	}
-	if b.MaxIterations > 0 {
-		out.MaxIterations = b.MaxIterations
-	}
-	if b.MaxTimeMs > 0 {
-		out.MaxTime = time.Duration(b.MaxTimeMs) * time.Millisecond
-	}
-	if b.Confidence != nil {
-		out.UseConfidence = *b.Confidence
-	}
-	if b.InnerBound != nil {
-		out.UseInnerBound = *b.InnerBound
-	}
-	if b.OuterBound != nil {
-		out.UseOuterBound = *b.OuterBound
-	}
-	if b.MinCount > 0 {
-		out.MinCount = b.MinCount
-	}
-	return out
+	return campaign.Options(c)
 }

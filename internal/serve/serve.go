@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rooftune"
+	"rooftune/internal/dist"
 	"rooftune/internal/serve/admit"
 	"rooftune/internal/serve/budget"
 	"rooftune/internal/serve/cache"
@@ -67,6 +68,18 @@ type Config struct {
 	// It is fixed configuration, not an estimate, so tests and clients
 	// can rely on exact values.
 	RetryAfter time.Duration
+	// Workers lists roofworkerd base URLs. When non-empty the daemon
+	// runs as the distributed tier's coordinator: cache and admission
+	// stay in front, but each admitted campaign's plan-graph nodes fan
+	// out to the fleet over the rooftune/dist/v1 contract, with
+	// lease-based requeue and graceful local fallback (see
+	// internal/dist).
+	Workers []string
+	// WorkerHeartbeat is the fleet health-probe interval (<=0: 2s).
+	WorkerHeartbeat time.Duration
+	// WorkerLease bounds how long one node dispatch may stay unanswered
+	// before it is requeued to another worker (<=0: 60s).
+	WorkerLease time.Duration
 }
 
 // Server is the daemon: routing, the job registry, the result cache,
@@ -81,6 +94,7 @@ type Server struct {
 	budget  *budget.Budget
 	adm     *admit.Controller
 	metrics *metrics.Set
+	dist    *dist.Coordinator // nil unless Config.Workers is set
 }
 
 // New builds a Server. base bounds every job the daemon starts: cancel
@@ -116,6 +130,15 @@ func New(base context.Context, cfg Config) (*Server, error) {
 		RetryAfter: cfg.RetryAfter,
 	}, func(wait time.Duration) { waitHist.Observe(wait.Seconds()) })
 	s.registerMetrics()
+	if len(cfg.Workers) > 0 {
+		s.dist = dist.NewCoordinator(dist.Config{
+			Workers:   cfg.Workers,
+			Heartbeat: cfg.WorkerHeartbeat,
+			Lease:     cfg.WorkerLease,
+			Metrics:   s.metrics,
+		})
+		s.dist.Start(base)
+	}
 	return s, nil
 }
 
@@ -221,25 +244,26 @@ func clientID(r *http.Request) string {
 // key and singleflight identity. The throwaway session exists only to
 // fingerprint; each run builds its own (a Session executes one Run at a
 // time, and the run's session carries the job's progress hook and
-// budget lease).
-func (s *Server) resolve(r *http.Request) (key string, opts []rooftune.Option, err error) {
-	campaign, err := ParseCampaign(r.Body)
+// budget lease). The parsed wire campaign rides along because in
+// coordinator mode it crosses to the workers verbatim.
+func (s *Server) resolve(r *http.Request) (key string, camp Campaign, opts []rooftune.Option, err error) {
+	camp, err = ParseCampaign(r.Body)
 	if err != nil {
-		return "", nil, err
+		return "", camp, nil, err
 	}
-	opts, err = CampaignOptions(campaign)
+	opts, err = CampaignOptions(camp)
 	if err != nil {
-		return "", nil, err
+		return "", camp, nil, err
 	}
 	sess, err := rooftune.New(opts...)
 	if err != nil {
-		return "", nil, fmt.Errorf("serve: invalid campaign: %w", err)
+		return "", camp, nil, fmt.Errorf("serve: invalid campaign: %w", err)
 	}
 	key, err = sess.Fingerprint()
 	if err != nil {
-		return "", nil, fmt.Errorf("serve: fingerprint: %w", err)
+		return "", camp, nil, fmt.Errorf("serve: fingerprint: %w", err)
 	}
-	return key, opts, nil
+	return key, camp, opts, nil
 }
 
 // launch returns the in-flight job for the fingerprint, starting a run
@@ -248,7 +272,7 @@ func (s *Server) resolve(r *http.Request) (key string, opts []rooftune.Option, e
 // — including a shed (an identical flood costs one admission slot, not
 // N). A shed job is terminal immediately, so every joiner observes the
 // refusal and a later resubmission gets a fresh admission attempt.
-func (s *Server) launch(key, client string, opts []rooftune.Option) *jobs.Job {
+func (s *Server) launch(key, client string, camp Campaign, opts []rooftune.Option) *jobs.Job {
 	job, created := s.reg.GetOrCreate(key)
 	if !created {
 		return job
@@ -268,7 +292,7 @@ func (s *Server) launch(key, client string, opts []rooftune.Option) *jobs.Job {
 	// the admission queue must release its ticket, not its run.
 	job.Arm(cancel)
 	//rooflint:allow nogoroutine -- job executor; bounded by s.base, joined by job.Wait/terminal state before anyone reads the result
-	go s.run(ctx, cancel, job, ticket, opts)
+	go s.run(ctx, cancel, job, ticket, camp, opts)
 	return job
 }
 
@@ -276,7 +300,7 @@ func (s *Server) launch(key, client string, opts []rooftune.Option) *jobs.Job {
 // running, acquire a host-budget lease, build the job's session
 // (progress wired to the job's event history, host parallelism capped
 // to the lease's share), run it, serialize, cache, finish.
-func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.Job, ticket *admit.Ticket, opts []rooftune.Option) {
+func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.Job, ticket *admit.Ticket, camp Campaign, opts []rooftune.Option) {
 	defer cancel()
 	if err := ticket.Wait(ctx); err != nil {
 		job.Fail(fmt.Errorf("serve: job %s: cancelled while queued: %w", job.ID, err))
@@ -290,13 +314,25 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.J
 		rooftune.WithHostParallelism(lease.Share()),
 		rooftune.WithProgress(job.Emit),
 	)
-	sess, err := rooftune.New(opts...)
-	if err != nil {
-		job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
-		return
-	}
 	started := time.Now()
-	res, err := sess.Run(ctx)
+	var res *rooftune.Result
+	var err error
+	if s.dist != nil {
+		// Coordinator mode: the campaign's plan-graph nodes fan out to
+		// the worker fleet. Neither the lease share nor the progress
+		// hook enters the fingerprint, so the coordinator addresses the
+		// same content the cache key names; nodes that cannot be placed
+		// remotely run locally inside the same schedule.
+		res, err = s.dist.Run(ctx, camp, opts)
+	} else {
+		var sess *rooftune.Session
+		sess, err = rooftune.New(opts...)
+		if err != nil {
+			job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
+			return
+		}
+		res, err = sess.Run(ctx)
+	}
 	if err != nil {
 		job.Fail(fmt.Errorf("serve: job %s: %w", job.ID, err))
 		return
@@ -323,7 +359,7 @@ func (s *Server) run(ctx context.Context, cancel context.CancelFunc, job *jobs.J
 // that disconnects while waiting releases its watch; if it was the last
 // watcher, the run is cancelled.
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
-	key, opts, err := s.resolve(r)
+	key, camp, opts, err := s.resolve(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, servev1.CodeBadCampaign, err, 0)
 		return
@@ -333,7 +369,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, data, true)
 		return
 	}
-	job := s.launch(key, clientID(r), opts)
+	job := s.launch(key, clientID(r), camp, opts)
 	w.Header().Set(JobHeader, job.ID)
 	job.AddWatcher()
 	defer job.RemoveWatcher()
@@ -376,7 +412,7 @@ func statusOf(snap jobs.Snapshot) servev1.JobStatus {
 // its handle. A cache hit mints an already-done job so clients have one
 // uniform flow; a shed admission answers 429 like the synchronous path.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	key, opts, err := s.resolve(r)
+	key, camp, opts, err := s.resolve(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, servev1.CodeBadCampaign, err, 0)
 		return
@@ -393,7 +429,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, statusOf(job.Snapshot()))
 		return
 	}
-	job := s.launch(key, clientID(r), opts)
+	job := s.launch(key, clientID(r), camp, opts)
 	job.Pin()
 	w.Header().Set(JobHeader, job.ID)
 	snap := job.Snapshot()
@@ -480,7 +516,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"cache":     s.cache.Stats(),
 		"admission": s.adm.Stats(),
 		"budget": map[string]any{
@@ -492,7 +528,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"total":  s.reg.Len(),
 			"active": s.reg.Active(),
 		},
-	})
+	}
+	if s.dist != nil {
+		live, dead := s.dist.Workers()
+		stats["dist"] = map[string]any{
+			"workers_live": live,
+			"workers_dead": dead,
+			"dispatch":     s.dist.Stats(),
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // writeResult writes serialized Result bytes verbatim, tagging the

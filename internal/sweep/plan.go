@@ -126,6 +126,13 @@ func ValidatePlan(nodes []Node) error {
 // everything; Result.BestPruned then flags the salvage value, exactly as
 // with a caller-supplied incumbent.
 //
+// With an Exec hook installed, each ready node is delegated to the
+// external executor instead of running in-process — the distributed
+// tier's coordinator — with the exact seed the local schedule would
+// have applied, and falls back to local execution per node when the
+// executor declines (see Exec, ExecFunc). The topological schedule,
+// seeding rules and outcome order are identical either way.
+//
 // Error and cancellation semantics mirror Run: the first failing node in
 // node order is reported; serial runs (Workers 1 or Serial) fail fast;
 // parallel runs finish in-flight sweeps. A node whose dependency failed
@@ -194,7 +201,7 @@ func (r *Runner) RunPlan(ctx context.Context, nodes []Node) ([]Outcome, error) {
 			//rooflint:allow nogoroutine -- plan-graph dispatcher; every node goroutine reports on done and is drained by the completion loop below
 			go func(i int) {
 				n := nodes[i]
-				out, err := r.runOne(ctx, n.Spec, r.shardsFor(n.Spec, width), seeds[i])
+				out, err := r.execOne(ctx, n, r.shardsFor(n.Spec, width), seeds[i])
 				out.ID = n.ID
 				outs[i], errs[i] = out, err
 				done <- i

@@ -27,6 +27,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -168,7 +169,27 @@ type Runner struct {
 	CaseShards int
 	// Hooks observe execution; see Hooks.
 	Hooks Hooks
+	// Exec, when non-nil, lets RunPlan delegate whole plan nodes to an
+	// external executor — the distributed tier's coordinator dispatches
+	// them to remote workers. The executor receives the node plus the
+	// exact seed RunPlan would have applied locally, and returns the
+	// node's Outcome (Name, ID, SeededFrom and SeedValue are filled in
+	// by RunPlan). Returning ErrExecUnavailable falls the node back to
+	// local execution — same seed, same shard policy — so a plan
+	// completes whether or not any executor capacity exists. Exec is
+	// called from node goroutines and must be safe for concurrent use.
+	Exec ExecFunc
 }
+
+// ExecFunc executes one plan-graph node out-of-process. seedValue is
+// the incumbent pre-seed in metric base units (0: unseeded), seedFrom
+// the plan-graph ID it came from.
+type ExecFunc func(ctx context.Context, n Node, seedFrom string, seedValue float64) (Outcome, error)
+
+// ErrExecUnavailable, returned (or wrapped) by an ExecFunc, tells
+// RunPlan to run that node locally instead — the graceful fallback when
+// no remote worker is live.
+var ErrExecUnavailable = errors.New("sweep: node executor unavailable")
 
 // Run executes every spec and returns outcomes in spec order. Specs run
 // concurrently unless Serial is set; outcomes and the reported error
@@ -303,6 +324,87 @@ var seedNone = seed{}
 type seed struct {
 	from  string  // plan-graph ID of the sweep whose winner is the bound
 	value float64 // bound in metric base units (0 = none)
+	// shared, when non-nil, is an externally owned monotone incumbent
+	// wired into the node's tuner (core.Tuner.Shared) so bounds pushed
+	// mid-sweep — the distributed tier's async incumbent sharing —
+	// reach a running search.
+	shared *bench.AtomicIncumbent
+}
+
+// execOne runs one plan node through the Runner's external executor,
+// falling back to local execution when the executor declines with
+// ErrExecUnavailable. A remotely executed node fires SweepStarted and
+// SweepWon (after completion — the remote search is opaque here, so the
+// two arrive back to back); CaseEvaluated hooks fire only for locally
+// run nodes.
+func (r *Runner) execOne(ctx context.Context, n Node, shards int, sd seed) (Outcome, error) {
+	if r.Exec == nil {
+		return r.runOne(ctx, n.Spec, shards, sd)
+	}
+	out, err := r.Exec(ctx, n, sd.from, sd.value)
+	if errors.Is(err, ErrExecUnavailable) {
+		return r.runOne(ctx, n.Spec, shards, sd)
+	}
+	if err != nil {
+		return Outcome{}, fmt.Errorf("sweep: %s: %w", n.Spec.Name, err)
+	}
+	out.Name = n.Spec.Name
+	out.SeededFrom, out.SeedValue = sd.from, sd.value
+	if r.Hooks.SweepStarted != nil {
+		r.Hooks.SweepStarted(n.Spec.Name, len(n.Spec.Cases))
+	}
+	if r.Hooks.SweepWon != nil {
+		r.Hooks.SweepWon(&out)
+	}
+	return out, nil
+}
+
+// RunNode executes exactly one node of a validated plan graph, exactly
+// as a local RunPlan executing the whole graph would have run it: the
+// same adaptive shard policy (sized from the full graph's concurrent
+// width), the same incumbent pre-seed, the same hooks. It is the worker
+// side of the distributed tier — the coordinator honors the graph's
+// seed edges and dispatches one node at a time; the worker replays just
+// that node. shared, when non-nil, additionally wires an externally
+// owned monotone incumbent into the search so bounds pushed mid-sweep
+// reach it (see core.Tuner.Shared).
+func (r *Runner) RunNode(ctx context.Context, nodes []Node, id string, seedValue float64, shared *bench.AtomicIncumbent) (Outcome, error) {
+	if err := ValidatePlan(nodes); err != nil {
+		return Outcome{}, err
+	}
+	edges := 0
+	target := -1
+	for i, n := range nodes {
+		if n.SeedFrom != "" {
+			edges++
+		}
+		if n.ID == id {
+			target = i
+		}
+	}
+	if target < 0 {
+		return Outcome{}, fmt.Errorf("sweep: plan has no node %q", id)
+	}
+	// Mirror RunPlan's adaptive-shard width: nodes minus edges is the
+	// graph's concurrent chain count (see RunPlan).
+	width := len(nodes) - edges
+	if width < 1 {
+		width = 1
+	}
+	n := nodes[target]
+	sd := seed{value: seedValue, shared: shared}
+	if seedValue > 0 {
+		// Provenance mirrors RunPlan: SeededFrom is recorded only when a
+		// seed was actually applied (a dependency that finished with a
+		// salvage value releases its dependents unseeded).
+		sd.from = n.SeedFrom
+	}
+	out, err := r.runOne(ctx, n.Spec, r.shardsFor(n.Spec, width), sd)
+	if err != nil {
+		return out, err
+	}
+	out.ID = n.ID
+	return out, nil
 }
 
 func (r *Runner) runOne(ctx context.Context, s Spec, shards int, sd seed) (Outcome, error) {
@@ -315,6 +417,7 @@ func (r *Runner) runOne(ctx context.Context, s Spec, shards int, sd seed) (Outco
 	tuner := core.NewTuner(s.Clock, r.Budget, r.Order)
 	tuner.Shards = shards
 	tuner.Incumbent = sd.value
+	tuner.Shared = sd.shared
 	if r.Hooks.CaseEvaluated != nil {
 		tuner.OnOutcome = func(out *bench.Outcome) { r.Hooks.CaseEvaluated(s.Name, out) }
 	}

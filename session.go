@@ -538,6 +538,28 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	runner := s.newRunner(nodes, emit)
+
+	outs, err := runner.RunPlan(ctx, nodes)
+	if err != nil {
+		// Report a cancellation as the bare ctx.Err(); a genuine engine
+		// failure that merely raced with cancellation keeps its
+		// diagnostic (it still satisfies errors.Is(err, ctx.Err())
+		// when the failure IS the cancellation, since the sweep layer
+		// wraps with %w).
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("rooftune: %w", err)
+	}
+	return assembleResult(res, outs, points)
+}
+
+// newRunner builds the sweep runner every Run entry point (Run, RunDist,
+// RunNode) executes through: one place owns the budget, order, shard
+// policy and hook wiring, so a distributed run's per-node execution is
+// the exact machinery a local run uses.
+func (s *Session) newRunner(nodes []sweep.Node, emit func(Event)) *sweep.Runner {
 	runner := &sweep.Runner{
 		Budget:     *s.cfg.budget,
 		Order:      core.OrderForward,
@@ -592,20 +614,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 			},
 		}
 	}
-
-	outs, err := runner.RunPlan(ctx, nodes)
-	if err != nil {
-		// Report a cancellation as the bare ctx.Err(); a genuine engine
-		// failure that merely raced with cancellation keeps its
-		// diagnostic (it still satisfies errors.Is(err, ctx.Err())
-		// when the failure IS the cancellation, since the sweep layer
-		// wraps with %w).
-		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
-			return nil, cerr
-		}
-		return nil, fmt.Errorf("rooftune: %w", err)
-	}
-	return assembleResult(res, outs, points)
+	return runner
 }
 
 // target resolves the session's tuning target and the Result header that
